@@ -1,0 +1,37 @@
+// Command minidb runs one standalone instance of the document store
+// used as the MongoDB stand-in in the paper's §4.4 comparison. Start
+// several on different ports to hand-build the sharded deployment of
+// Fig 11 (the benchmark harness automates this with ephemeral ports).
+//
+// Usage:
+//
+//	minidb [-addr 127.0.0.1:27017]
+//
+// The wire protocol is newline-delimited JSON; see internal/minidb.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"tagmatch/internal/minidb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:27017", "listen address")
+	flag.Parse()
+
+	srv, err := minidb.NewServer(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("minidb listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down with %d documents", srv.Store().Len())
+	srv.Close()
+}

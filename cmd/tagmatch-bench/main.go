@@ -1,0 +1,120 @@
+// Command tagmatch-bench regenerates the tables and figures of the
+// TagMatch paper's evaluation (EuroSys 2017, §4) on the scaled synthetic
+// workload.
+//
+// Usage:
+//
+//	tagmatch-bench [flags] <experiment>...
+//	tagmatch-bench all
+//
+// Experiments: table1, table3, fig2 (with fig3), fig4, fig5, fig6, fig7,
+// fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly.
+//
+// Flags:
+//
+//	-scale f    fraction of the paper's 300M-user workload (default 0.002)
+//	-seed n     workload seed (default 1)
+//	-threads n  CPU threads per subject system (default GOMAXPROCS)
+//	-gpus n     simulated GPUs for TagMatch (default 2)
+//	-queries n  queries per throughput measurement (default 20000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tagmatch/internal/experiments"
+)
+
+func main() {
+	var p experiments.Params
+	flag.Float64Var(&p.Scale, "scale", experiments.DefaultScale, "fraction of the paper's workload")
+	flag.Int64Var(&p.Seed, "seed", 1, "workload seed")
+	flag.IntVar(&p.Threads, "threads", runtime.GOMAXPROCS(0), "CPU threads per subject system")
+	flag.IntVar(&p.GPUs, "gpus", 2, "simulated GPUs")
+	flag.IntVar(&p.Queries, "queries", 20000, "queries per measurement")
+	format := flag.String("format", "text", "output format: text, json, csv")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tagmatch-bench [flags] <experiment>... | all")
+		fmt.Fprintln(os.Stderr, "experiments:", allNames())
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = allNames()
+	}
+	for _, name := range names {
+		runOne(name, p, *format)
+	}
+}
+
+func allNames() []string {
+	return []string{
+		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "families",
+		"ablation-pipeline", "ablation-gpuonly",
+	}
+}
+
+func runOne(name string, p experiments.Params, format string) {
+	start := time.Now()
+	var tables []*experiments.Table
+	switch name {
+	case "table1":
+		tables = append(tables, experiments.Table1(p))
+	case "table3":
+		tables = append(tables, experiments.Table3(p))
+	case "fig2", "fig3":
+		f2, f3 := experiments.Fig2And3(p)
+		tables = append(tables, f2, f3)
+	case "fig4":
+		tables = append(tables, experiments.Fig4(p))
+	case "fig5":
+		tables = append(tables, experiments.Fig5(p))
+	case "fig6":
+		tables = append(tables, experiments.Fig6(p))
+	case "fig7":
+		tables = append(tables, experiments.Fig7(p))
+	case "fig8":
+		tables = append(tables, experiments.Fig8(p))
+	case "fig9":
+		tables = append(tables, experiments.Fig9(p))
+	case "fig10":
+		tables = append(tables, experiments.Fig10(p))
+	case "fig11":
+		tables = append(tables, experiments.Fig11(p))
+	case "families":
+		tables = append(tables, experiments.Families(p))
+	case "ablation-pipeline":
+		tables = append(tables, experiments.AblationPipeline(p))
+	case "ablation-gpuonly":
+		tables = append(tables, experiments.AblationGPUOnly(p))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		switch format {
+		case "json":
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "csv":
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		default:
+			t.Print(os.Stdout)
+		}
+	}
+	if format == "text" {
+		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

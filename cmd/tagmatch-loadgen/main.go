@@ -1,0 +1,123 @@
+// Command tagmatch-loadgen drives a running tagmatch-server with the
+// synthetic Twitter-like workload: it loads user interests over HTTP,
+// consolidates, then streams tweet queries from concurrent clients and
+// reports end-to-end service throughput and latency.
+//
+// Usage:
+//
+//	tagmatch-server &
+//	tagmatch-loadgen -server http://localhost:8080 -users 20000 -queries 5000 -clients 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"tagmatch"
+	"tagmatch/internal/httpserver"
+	"tagmatch/internal/metrics"
+	"tagmatch/internal/workload"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "tagmatch-server base URL")
+	users := flag.Int("users", 20000, "users to load")
+	queries := flag.Int("queries", 5000, "tweet queries to stream")
+	clients := flag.Int("clients", 4, "concurrent query clients")
+	seed := flag.Int64("seed", 42, "workload seed")
+	unique := flag.Bool("unique", true, "use match-unique (vs match)")
+	flag.Parse()
+
+	gen, err := workload.New(workload.NewConfig(*users, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpc := &http.Client{Timeout: 60 * time.Second}
+
+	post := func(path string, body any, out any) error {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Post(*server+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	// Phase 1: load interests.
+	log.Printf("loading interests for %d users ...", *users)
+	start := time.Now()
+	var sample []workload.Interest
+	n := gen.Generate(*users, func(in workload.Interest) {
+		if err := post("/add", httpserver.SetRequest{Tags: in.Tags, Key: tagmatch.Key(in.User)}, nil); err != nil {
+			log.Fatal(err)
+		}
+		if len(sample) < 4096 {
+			sample = append(sample, in)
+		}
+	})
+	log.Printf("loaded %d interests in %v", n, time.Since(start).Round(time.Millisecond))
+
+	var cons httpserver.ConsolidateResponse
+	if err := post("/consolidate", struct{}{}, &cons); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("consolidated: %d sets, %d partitions (%s)", cons.Sets, cons.Partitions, cons.Elapsed)
+
+	// Phase 2: stream queries from concurrent clients.
+	endpoint := "/match"
+	if *unique {
+		endpoint = "/match-unique"
+	}
+	lat := metrics.NewLatencies()
+	var delivered int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := (*queries + *clients - 1) / *clients
+	qStart := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for i := 0; i < per; i++ {
+				tweet := gen.Query(rng, sample[rng.Intn(len(sample))].Tags, -1)
+				t0 := time.Now()
+				var resp httpserver.MatchResponse
+				if err := post(endpoint, httpserver.MatchRequest{Tags: tweet}, &resp); err != nil {
+					log.Fatal(err)
+				}
+				lat.Observe(time.Since(t0))
+				mu.Lock()
+				delivered += int64(resp.Count)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	el := time.Since(qStart)
+	total := per * *clients
+	s := lat.Summarize()
+	fmt.Printf("%d %s queries from %d clients in %v\n", total, endpoint, *clients, el.Round(time.Millisecond))
+	fmt.Printf("throughput: %s, fan-out %s\n",
+		metrics.FmtRate(float64(total)/el.Seconds()),
+		metrics.FmtRate(float64(delivered)/el.Seconds()))
+	fmt.Printf("latency over HTTP: median %v, p99 %v, max %v\n",
+		s.Median.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

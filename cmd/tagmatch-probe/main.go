@@ -1,0 +1,61 @@
+// Command tagmatch-probe is a small diagnostic: it runs the same query
+// stream through the CPU-only, one-GPU and two-GPU configurations of the
+// engine and prints pipeline and device counters side by side. Useful
+// when calibrating the simulated cost model or investigating throughput
+// regressions.
+//
+// Usage:
+//
+//	tagmatch-probe [-scale 0.0002] [-queries 3000] [-frac 0.189]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"tagmatch/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.0002, "workload scale")
+	queries := flag.Int("queries", 3000, "queries per run")
+	frac := flag.Float64("frac", 0.189, "database fraction")
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Scale = *scale
+	p.Queries = *queries
+	ds := experiments.BuildDataset(p)
+	sigs, keys := ds.Slice(*frac)
+	qs := ds.Queries(4096, *frac, -1, 99)
+
+	for _, gpus := range []int{0, 1, 2} {
+		eng, devs, err := experiments.BuildEngine(experiments.EngineSpec{
+			Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: gpus, MaxP: ds.BaseMaxP(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		r := experiments.MeasureEngine(eng, qs, p.Queries, false)
+		st := eng.Stats()
+		fmt.Printf("gpus=%d qps=%.0f partsSearched/q=%.1f batches=%d pairs=%d overflows=%d elapsed=%v partitions=%d\n",
+			gpus, r.QPS, float64(st.PartitionsSearched)/float64(st.QueriesCompleted),
+			st.BatchesDispatched, st.PairsProduced, st.ResultOverflows, r.Elapsed, st.Partitions)
+		fmt.Printf("  stages: preprocess=%v subset-match(wait+kernel+copy)=%v reduce=%v\n",
+			st.PreprocessTime.Round(time.Millisecond),
+			st.SubsetMatchTime.Round(time.Millisecond),
+			st.ReduceTime.Round(time.Millisecond))
+		for _, d := range devs {
+			gs := d.Stats()
+			fmt.Printf("  %s: launches=%d blocks=%d H2D=%d(%dB) D2H=%d(%dB) atomics=%d mem=%dB\n",
+				d.Name(), gs.KernelLaunches, gs.BlocksExecuted,
+				gs.CopiesHtoD, gs.BytesHtoD, gs.CopiesDtoH, gs.BytesDtoH,
+				gs.AtomicOps, gs.MemInUse)
+		}
+		eng.Close()
+		for _, d := range devs {
+			d.Close()
+		}
+	}
+}

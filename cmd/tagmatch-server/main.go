@@ -1,0 +1,52 @@
+// Command tagmatch-server exposes a TagMatch engine over HTTP — a small
+// interactive deployment of the library ("integration of TagMatch within
+// a full-fledged messaging system", the paper's future-work direction).
+//
+// Endpoints (JSON): POST /add, /remove, /consolidate, /match,
+// /match-unique; GET /stats, /healthz. See internal/httpserver for the
+// request/response shapes.
+//
+// Usage:
+//
+//	tagmatch-server [-addr :8080] [-gpus 2] [-threads 4] [-exact]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"tagmatch"
+	"tagmatch/internal/httpserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	gpus := flag.Int("gpus", 2, "simulated GPUs")
+	threads := flag.Int("threads", 4, "pipeline CPU threads")
+	exact := flag.Bool("exact", false, "exact-verify matches (no Bloom false positives)")
+	flag.Parse()
+
+	eng, err := tagmatch.New(tagmatch.Config{
+		GPUs:         *gpus,
+		Threads:      *threads,
+		BatchTimeout: 50 * time.Millisecond,
+		ExactVerify:  *exact,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	log.Printf("tagmatch-server listening on %s (%d simulated GPUs, %d threads, exact=%v)",
+		*addr, *gpus, *threads, *exact)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpserver.Handler(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Command workload-gen dumps the synthetic Twitter-like workload (§4.2)
+// as newline-delimited JSON, for feeding external systems or inspecting
+// the generator's statistical properties.
+//
+// Usage:
+//
+//	workload-gen -users 10000 [-seed 1] [-queries 0] > interests.ndjson
+//
+// Each interest line: {"user":123,"tags":["en_t5","user:77"]}.
+// With -queries N, N tweet queries follow: {"query":["en_t5","en_t9"]}.
+// With -stats, a summary is printed to stderr instead of data to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"tagmatch/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 10000, "users to generate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	queries := flag.Int("queries", 0, "tweet queries to append")
+	stats := flag.Bool("stats", false, "print distribution statistics instead of data")
+	flag.Parse()
+
+	gen, err := workload.New(workload.NewConfig(*users, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		printStats(gen, *users)
+		return
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	type interestLine struct {
+		User uint32   `json:"user"`
+		Tags []string `json:"tags"`
+	}
+	var sample []workload.Interest
+	gen.Generate(*users, func(in workload.Interest) {
+		if err := enc.Encode(interestLine{User: in.User, Tags: in.Tags}); err != nil {
+			log.Fatal(err)
+		}
+		if len(sample) < 4096 {
+			sample = append(sample, in)
+		}
+	})
+
+	if *queries > 0 {
+		type queryLine struct {
+			Query []string `json:"query"`
+		}
+		rng := rand.New(rand.NewSource(*seed + 1))
+		for i := 0; i < *queries; i++ {
+			q := gen.Query(rng, sample[rng.Intn(len(sample))].Tags, -1)
+			if err := enc.Encode(queryLine{Query: q}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// printStats summarizes the generated workload: interest counts, tag
+// width distribution, language shares, tag popularity skew.
+func printStats(gen *workload.Generator, users int) {
+	interests := 0
+	tagWidth := map[int]int{}
+	langCount := map[string]int{}
+	tagFreq := map[string]int{}
+	uniqueSets := map[string]struct{}{}
+	gen.Generate(users, func(in workload.Interest) {
+		interests++
+		tagWidth[len(in.Tags)]++
+		uniqueSets[strings.Join(in.Tags, "\x00")] = struct{}{}
+		for _, t := range in.Tags {
+			tagFreq[t]++
+			if i := strings.IndexByte(t, '_'); i > 0 && !strings.HasPrefix(t, "user:") {
+				langCount[t[:i]]++
+			}
+		}
+	})
+
+	fmt.Fprintf(os.Stderr, "users:            %d\n", users)
+	fmt.Fprintf(os.Stderr, "interests:        %d (%.2f per user)\n", interests, float64(interests)/float64(users))
+	fmt.Fprintf(os.Stderr, "unique tag sets:  %d\n", len(uniqueSets))
+	fmt.Fprintf(os.Stderr, "distinct tags:    %d\n", len(tagFreq))
+
+	widths := make([]int, 0, len(tagWidth))
+	totalTags := 0
+	for w, c := range tagWidth {
+		widths = append(widths, w)
+		totalTags += w * c
+	}
+	sort.Ints(widths)
+	fmt.Fprintf(os.Stderr, "tags/interest:    mean %.2f, distribution:", float64(totalTags)/float64(interests))
+	for _, w := range widths {
+		fmt.Fprintf(os.Stderr, " %d:%d", w, tagWidth[w])
+	}
+	fmt.Fprintln(os.Stderr)
+
+	type lf struct {
+		lang string
+		n    int
+	}
+	var langs []lf
+	for l, n := range langCount {
+		langs = append(langs, lf{l, n})
+	}
+	sort.Slice(langs, func(i, j int) bool { return langs[i].n > langs[j].n })
+	fmt.Fprintf(os.Stderr, "top languages:   ")
+	for i, l := range langs {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(os.Stderr, " %s:%d", l.lang, l.n)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	top := make([]int, 0, len(tagFreq))
+	for _, n := range tagFreq {
+		top = append(top, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(top)))
+	if len(top) >= 10 {
+		fmt.Fprintf(os.Stderr, "tag skew:         top tag %d uses, 10th %d, median %d\n",
+			top[0], top[9], top[len(top)/2])
+	}
+}

@@ -1,0 +1,60 @@
+package tagmatch_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tagmatch"
+)
+
+// Example demonstrates the complete lifecycle: stage interests,
+// consolidate, and run match and match-unique queries.
+func Example() {
+	eng, err := tagmatch.New(tagmatch.Config{GPUs: 1, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	eng.AddSet([]string{"go", "gpu"}, 1001)
+	eng.AddSet([]string{"go"}, 1002)
+	eng.AddSet([]string{"cooking"}, 1003)
+	if err := eng.Consolidate(); err != nil {
+		log.Fatal(err)
+	}
+
+	keys, err := eng.MatchUnique([]string{"go", "gpu", "eurosys"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Println(keys)
+	// Output: [1001 1002]
+}
+
+// ExampleEngine_Submit shows streaming queries for throughput: results
+// arrive asynchronously via the callback.
+func ExampleEngine_Submit() {
+	eng, err := tagmatch.New(tagmatch.Config{Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	eng.AddSet([]string{"alerts", "eu-west"}, 7)
+	if err := eng.Consolidate(); err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan int, 1)
+	err = eng.Submit([]string{"alerts", "eu-west", "sev1"}, func(r tagmatch.MatchResult) {
+		done <- len(r.Keys)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Drain()
+	fmt.Println(<-done)
+	// Output: 1
+}

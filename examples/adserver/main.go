@@ -1,0 +1,115 @@
+// Adserver: the paper's introductory ad-selection example.
+//
+// "Within the Twitter messaging system, the first stage in ad selection
+// for user queries finds a match between user attributes and targeting
+// criteria across the corpus of ads, which at a minimum amounts to
+// checking that the attributes of the user query contain the targeting
+// criteria of the ads."
+//
+// Here the database holds ad campaigns keyed by campaign id, each with a
+// set of targeting criteria; an incoming user request carries the user's
+// attributes, and match-unique returns every campaign whose criteria are
+// contained in those attributes.
+//
+//	go run ./examples/adserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tagmatch"
+)
+
+// campaign is one ad with its targeting criteria.
+type campaign struct {
+	id       tagmatch.Key
+	name     string
+	criteria []string
+}
+
+func main() {
+	eng, err := tagmatch.New(tagmatch.Config{GPUs: 1, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	campaigns := []campaign{
+		{1, "mountain bikes", []string{"geo:ch", "sport:cycling"}},
+		{2, "espresso machines", []string{"geo:it", "interest:coffee"}},
+		{3, "gpu cloud credits", []string{"job:developer", "interest:ml"}},
+		{4, "hiking boots", []string{"geo:ch", "sport:hiking", "age:25-40"}},
+		{5, "generic cola", nil}, // empty criteria: targets everyone
+	}
+	names := map[tagmatch.Key]string{}
+	for _, c := range campaigns {
+		eng.AddSet(c.criteria, c.id)
+		names[c.id] = c.name
+	}
+	if err := eng.Consolidate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve some user requests.
+	requests := [][]string{
+		{"geo:ch", "sport:cycling", "age:25-40", "job:teacher"},
+		{"geo:it", "interest:coffee", "interest:ml", "job:developer"},
+		{"geo:de", "sport:football"},
+	}
+	for _, attrs := range requests {
+		ads, err := eng.MatchUnique(attrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %v\n", attrs)
+		if len(ads) == 0 {
+			fmt.Println("  no eligible campaigns")
+		}
+		for _, id := range ads {
+			fmt.Printf("  eligible: %s (campaign %d)\n", names[id], id)
+		}
+	}
+
+	// A synthetic load: 100K campaigns with 1-4 criteria over a modest
+	// attribute vocabulary, then a burst of requests.
+	rng := rand.New(rand.NewSource(1))
+	attr := func() string { return fmt.Sprintf("a:%d", rng.Intn(3000)) }
+	for id := tagmatch.Key(100); id < 100_000; id++ {
+		n := 1 + rng.Intn(4)
+		crit := make([]string, n)
+		for i := range crit {
+			crit[i] = attr()
+		}
+		eng.AddSet(crit, id)
+	}
+	if err := eng.Consolidate(); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	const requestsN = 5000
+	matched := 0
+	done := make(chan int, requestsN)
+	for i := 0; i < requestsN; i++ {
+		attrs := make([]string, 12)
+		for j := range attrs {
+			attrs[j] = attr()
+		}
+		if err := eng.SubmitUnique(attrs, func(r tagmatch.MatchResult) {
+			done <- len(r.Keys)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.Drain()
+	for i := 0; i < requestsN; i++ {
+		matched += <-done
+	}
+	el := time.Since(start)
+	fmt.Printf("\nserved %d ad requests over %d campaigns in %v (%.0f req/s, %.1f eligible ads/request)\n",
+		requestsN, eng.Stats().UniqueSets, el.Round(time.Millisecond),
+		requestsN/el.Seconds(), float64(matched)/requestsN)
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest complete TagMatch program.
+//
+// Build a tiny database of user interests, consolidate it, and run both
+// match and match-unique queries against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagmatch"
+)
+
+func main() {
+	// One simulated GPU; CPU-only (GPUs: 0) behaves identically but
+	// runs the subset-match stage on the host.
+	eng, err := tagmatch.New(tagmatch.Config{GPUs: 1, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// add-set(set, key): stage interests. Keys are application values —
+	// here, user ids. The same key may be attached to several sets, and
+	// the same set to several keys.
+	eng.AddSet([]string{"en_go", "en_gpu"}, 1001)
+	eng.AddSet([]string{"en_go"}, 1002)
+	eng.AddSet([]string{"en_gpu", "en_cuda"}, 1003)
+	eng.AddSet([]string{"fr_cuisine"}, 1004)
+	eng.AddSet([]string{"en_go", "en_gpu"}, 1002) // 1002 also follows this pair
+
+	// consolidate(): build the partitioned index (Algorithm 1) and
+	// upload the tagset table to the device.
+	if err := eng.Consolidate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A tweet tagged {go, gpu, eurosys} reaches everyone whose interest
+	// set is contained in the tweet's tags.
+	tweet := []string{"en_go", "en_gpu", "en_eurosys"}
+
+	keys, err := eng.Match(tweet) // multiset: 1002 appears twice
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("match        →", keys)
+
+	unique, err := eng.MatchUnique(tweet) // deduplicated
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("match-unique →", unique)
+
+	st := eng.Stats()
+	fmt.Printf("database: %d unique sets in %d partitions, %d keys\n",
+		st.UniqueSets, st.Partitions, st.Keys)
+}

@@ -1,0 +1,3 @@
+module tagmatch
+
+go 1.24

@@ -1,0 +1,194 @@
+package tagmatch_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"tagmatch"
+	"tagmatch/internal/workload"
+)
+
+// TestIntegrationTwitterWorkload drives the public API with the paper's
+// generated workload end to end: load interests for a few thousand
+// users, consolidate, stream tweets, and verify a sample of results
+// against a brute-force scan of the loaded interests.
+func TestIntegrationTwitterWorkload(t *testing.T) {
+	gen, err := workload.New(workload.NewConfig(3000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tagmatch.New(tagmatch.Config{
+		GPUs: 2, Threads: 4, BatchSize: 64,
+		BatchTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var all []workload.Interest
+	gen.Generate(3000, func(in workload.Interest) {
+		eng.AddSet(in.Tags, tagmatch.Key(in.User))
+		all = append(all, in)
+	})
+	if err := eng.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute-force reference over the original tag sets, answering in
+	// Bloom space (signature containment) exactly as the engine does.
+	ref := func(q []string) []tagmatch.Key {
+		qset := map[string]bool{}
+		for _, tag := range q {
+			qset[tag] = true
+		}
+		seen := map[tagmatch.Key]bool{}
+		var out []tagmatch.Key
+		for _, in := range all {
+			ok := true
+			for _, tag := range in.Tags {
+				if !qset[tag] {
+					ok = false
+					break
+				}
+			}
+			if ok && !seen[tagmatch.Key(in.User)] {
+				seen[tagmatch.Key(in.User)] = true
+				out = append(out, tagmatch.Key(in.User))
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	rng := rand.New(rand.NewSource(12))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	results := map[int][]tagmatch.Key{}
+	var tweets [][]string
+	for i := 0; i < 400; i++ {
+		base := all[rng.Intn(len(all))]
+		tweet := gen.Query(rng, base.Tags, -1)
+		tweets = append(tweets, tweet)
+		i := i
+		wg.Add(1)
+		if err := eng.SubmitUnique(tweet, func(r tagmatch.MatchResult) {
+			mu.Lock()
+			results[i] = r.Keys
+			mu.Unlock()
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Drain()
+	wg.Wait()
+
+	mismatches := 0
+	for i, tweet := range tweets {
+		got := append([]tagmatch.Key(nil), results[i]...)
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		want := ref(tweet)
+		// Bloom false positives may add keys (never drop them); with the
+		// generated vocabulary they are vanishingly rare, so demand
+		// near-exact agreement and zero losses.
+		if len(got) < len(want) {
+			t.Fatalf("tweet %d: engine returned %d keys, reference %d (lost matches)", i, len(got), len(want))
+		}
+		wantSet := map[tagmatch.Key]bool{}
+		for _, k := range want {
+			wantSet[k] = true
+		}
+		extra := 0
+		for _, k := range got {
+			if !wantSet[k] {
+				extra++
+			}
+		}
+		if extra > 0 {
+			mismatches += extra
+		}
+	}
+	// Bloom false positives at m=192/k=7: interests one tag away from
+	// containment slip through with probability ≈7e-5 each; across 400
+	// ~8-tag tweets against thousands of correlated interests a handful
+	// of extras is expected. A large count would indicate a broken hash.
+	if mismatches > 25 {
+		t.Fatalf("%d unexpected extra keys across 400 tweets: false-positive rate too high", mismatches)
+	}
+
+	st := eng.Stats()
+	if st.QueriesCompleted != 400 {
+		t.Fatalf("completed %d queries", st.QueriesCompleted)
+	}
+	if st.BatchesDispatched == 0 || st.PairsProduced == 0 {
+		t.Fatalf("pipeline idle: %+v", st)
+	}
+}
+
+// TestIntegrationExactVerify runs the same flow with ExactVerify and
+// demands perfect agreement with the string-level reference.
+func TestIntegrationExactVerify(t *testing.T) {
+	gen, err := workload.New(workload.NewConfig(1500, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tagmatch.New(tagmatch.Config{
+		GPUs: 1, Threads: 2, BatchSize: 32, ExactVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var all []workload.Interest
+	gen.Generate(1500, func(in workload.Interest) {
+		eng.AddSet(in.Tags, tagmatch.Key(in.User))
+		all = append(all, in)
+	})
+	if err := eng.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 100; i++ {
+		tweet := gen.Query(rng, all[rng.Intn(len(all))].Tags, -1)
+		got, err := eng.MatchUnique(tweet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+
+		qset := map[string]bool{}
+		for _, tag := range tweet {
+			qset[tag] = true
+		}
+		seen := map[tagmatch.Key]bool{}
+		var want []tagmatch.Key
+		for _, in := range all {
+			ok := true
+			for _, tag := range in.Tags {
+				if !qset[tag] {
+					ok = false
+					break
+				}
+			}
+			if ok && !seen[tagmatch.Key(in.User)] {
+				seen[tagmatch.Key(in.User)] = true
+				want = append(want, tagmatch.Key(in.User))
+			}
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			t.Fatalf("tweet %d: got %d keys, want %d (exact mode must be exact)", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("tweet %d key %d: got %d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package bitvec implements fixed-width 192-bit vectors used as the
+// underlying representation of Bloom-filter set signatures in TagMatch.
+//
+// A vector is stored as three 64-bit blocks, so the fundamental subset
+// check B1 ⊆ B2 compiles down to three AND-NOT block operations, exactly
+// as in the paper (§3.2, footnote 4).
+//
+// Bit numbering follows the paper's convention: bit 0 is the leftmost bit,
+// i.e. the most significant bit of block 0, and bit 191 is the rightmost
+// (least significant bit of block 2). "Leftmost one-bit" therefore means
+// the smallest set bit position, which is what the partition table of
+// Algorithm 2 indexes on.
+package bitvec
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// W is the width of a vector in bits.
+const W = 192
+
+// Blocks is the number of 64-bit blocks per vector.
+const Blocks = W / 64
+
+// Vector is a fixed-width bit vector of W bits.
+//
+// The zero value is the empty vector (all bits zero). Vector is a value
+// type: assignment copies, and == compares contents, which makes it usable
+// directly as a map key.
+type Vector [Blocks]uint64
+
+// blockOf returns the block index and the in-block mask for bit position i.
+// Position 0 is the MSB of block 0.
+func blockOf(i int) (int, uint64) {
+	return i >> 6, 1 << (63 - uint(i&63))
+}
+
+// Set sets bit i and returns the receiver for chaining-free convenience.
+func (v *Vector) Set(i int) {
+	b, m := blockOf(i)
+	v[b] |= m
+}
+
+// Clear clears bit i.
+func (v *Vector) Clear(i int) {
+	b, m := blockOf(i)
+	v[b] &^= m
+}
+
+// Test reports whether bit i is set.
+func (v Vector) Test(i int) bool {
+	b, m := blockOf(i)
+	return v[b]&m != 0
+}
+
+// IsZero reports whether no bit is set.
+func (v Vector) IsZero() bool {
+	return v[0]|v[1]|v[2] == 0
+}
+
+// SubsetOf reports whether every bit set in v is also set in q.
+// This is the three-block operation at the heart of TagMatch:
+// (v[k] &^ q[k]) == 0 for every block k.
+func (v Vector) SubsetOf(q Vector) bool {
+	return v[0]&^q[0] == 0 && v[1]&^q[1] == 0 && v[2]&^q[2] == 0
+}
+
+// Contains reports whether v is a superset of s (s ⊆ v).
+func (v Vector) Contains(s Vector) bool {
+	return s.SubsetOf(v)
+}
+
+// Or returns the bitwise union of v and w.
+func (v Vector) Or(w Vector) Vector {
+	return Vector{v[0] | w[0], v[1] | w[1], v[2] | w[2]}
+}
+
+// And returns the bitwise intersection of v and w.
+func (v Vector) And(w Vector) Vector {
+	return Vector{v[0] & w[0], v[1] & w[1], v[2] & w[2]}
+}
+
+// AndNot returns v with every bit of w cleared (v &^ w).
+func (v Vector) AndNot(w Vector) Vector {
+	return Vector{v[0] &^ w[0], v[1] &^ w[1], v[2] &^ w[2]}
+}
+
+// Xor returns the bitwise symmetric difference of v and w.
+func (v Vector) Xor(w Vector) Vector {
+	return Vector{v[0] ^ w[0], v[1] ^ w[1], v[2] ^ w[2]}
+}
+
+// OnesCount returns the number of set bits (population count).
+func (v Vector) OnesCount() int {
+	return bits.OnesCount64(v[0]) + bits.OnesCount64(v[1]) + bits.OnesCount64(v[2])
+}
+
+// LeftmostOne returns the position of the leftmost (lowest-index) one-bit,
+// or -1 if the vector is zero. This is the index used by the partition
+// table (Algorithm 2).
+func (v Vector) LeftmostOne() int {
+	for b := 0; b < Blocks; b++ {
+		if v[b] != 0 {
+			return b*64 + bits.LeadingZeros64(v[b])
+		}
+	}
+	return -1
+}
+
+// RightmostOne returns the position of the rightmost (highest-index)
+// one-bit, or -1 if the vector is zero.
+func (v Vector) RightmostOne() int {
+	for b := Blocks - 1; b >= 0; b-- {
+		if v[b] != 0 {
+			return b*64 + 63 - bits.TrailingZeros64(v[b])
+		}
+	}
+	return -1
+}
+
+// NextOne returns the position of the first one-bit at position >= i,
+// or -1 if there is none. Iterating the one-bits of a query uses this:
+//
+//	for j := q.NextOne(0); j >= 0; j = q.NextOne(j + 1) { ... }
+func (v Vector) NextOne(i int) int {
+	if i >= W {
+		return -1
+	}
+	if i < 0 {
+		i = 0
+	}
+	b := i >> 6
+	// Mask off bits before i within its block.
+	blk := v[b] & (^uint64(0) >> uint(i&63))
+	for {
+		if blk != 0 {
+			return b*64 + bits.LeadingZeros64(blk)
+		}
+		b++
+		if b >= Blocks {
+			return -1
+		}
+		blk = v[b]
+	}
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of v and
+// w, i.e. the position of the leftmost bit in which they differ (W when
+// they are equal). The subset-match kernel pre-filter (Algorithm 4) uses
+// this on the first and last set of a thread block.
+func CommonPrefixLen(v, w Vector) int {
+	for b := 0; b < Blocks; b++ {
+		if x := v[b] ^ w[b]; x != 0 {
+			return b*64 + bits.LeadingZeros64(x)
+		}
+	}
+	return W
+}
+
+// Prefix returns v with all bit positions >= n cleared, i.e. the length-n
+// prefix of v padded with zeros.
+func (v Vector) Prefix(n int) Vector {
+	if n <= 0 {
+		return Vector{}
+	}
+	if n >= W {
+		return v
+	}
+	var out Vector
+	full := n >> 6
+	for b := 0; b < full; b++ {
+		out[b] = v[b]
+	}
+	if rem := uint(n & 63); rem != 0 {
+		out[full] = v[full] &^ (^uint64(0) >> rem)
+	}
+	return out
+}
+
+// Compare returns -1, 0, or +1 comparing v and w lexicographically by bit
+// position (equivalently: as 192-bit big-endian unsigned integers). The
+// tagset table stores sets in this order so that a thread block's sets
+// share long prefixes.
+func Compare(v, w Vector) int {
+	for b := 0; b < Blocks; b++ {
+		switch {
+		case v[b] < w[b]:
+			return -1
+		case v[b] > w[b]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether v sorts before w in lexicographic bit order.
+func Less(v, w Vector) bool { return Compare(v, w) < 0 }
+
+// Ones returns the positions of all one-bits in increasing order.
+// The result is appended to dst, which may be nil.
+func (v Vector) Ones(dst []int) []int {
+	for b := 0; b < Blocks; b++ {
+		blk := v[b]
+		for blk != 0 {
+			i := bits.LeadingZeros64(blk)
+			dst = append(dst, b*64+i)
+			blk &^= 1 << (63 - uint(i))
+		}
+	}
+	return dst
+}
+
+// String renders the vector as a 192-character binary string, bit 0 first.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(W)
+	for b := 0; b < Blocks; b++ {
+		fmt.Fprintf(&sb, "%064b", v[b])
+	}
+	return sb.String()
+}
+
+// Hex renders the vector as 48 hexadecimal digits, block 0 first.
+func (v Vector) Hex() string {
+	return fmt.Sprintf("%016x%016x%016x", v[0], v[1], v[2])
+}
+
+// FromOnes builds a vector from a list of bit positions.
+// It panics if a position is out of range; use New for validated input.
+func FromOnes(positions ...int) Vector {
+	var v Vector
+	for _, p := range positions {
+		if p < 0 || p >= W {
+			panic(fmt.Sprintf("bitvec: position %d out of range [0,%d)", p, W))
+		}
+		v.Set(p)
+	}
+	return v
+}
+
+// ErrBadHex reports a malformed hexadecimal encoding passed to ParseHex.
+var ErrBadHex = errors.New("bitvec: malformed hex vector")
+
+// ParseHex parses the 48-digit hexadecimal form produced by Hex.
+func ParseHex(s string) (Vector, error) {
+	var v Vector
+	if len(s) != W/4 {
+		return v, fmt.Errorf("%w: want %d hex digits, got %d", ErrBadHex, W/4, len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return Vector{}, fmt.Errorf("%w: invalid digit %q at %d", ErrBadHex, c, i)
+		}
+		v[i/16] = v[i/16]<<4 | d
+	}
+	return v, nil
+}
+
+// AppendBinary appends the 24-byte big-endian binary encoding of v to dst.
+func (v Vector) AppendBinary(dst []byte) []byte {
+	for b := 0; b < Blocks; b++ {
+		x := v[b]
+		dst = append(dst,
+			byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
+			byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+	}
+	return dst
+}
+
+// FromBinary decodes a vector from the 24-byte encoding of AppendBinary.
+func FromBinary(src []byte) (Vector, error) {
+	var v Vector
+	if len(src) < Blocks*8 {
+		return v, fmt.Errorf("bitvec: short binary encoding: %d bytes", len(src))
+	}
+	for b := 0; b < Blocks; b++ {
+		off := b * 8
+		v[b] = uint64(src[off])<<56 | uint64(src[off+1])<<48 |
+			uint64(src[off+2])<<40 | uint64(src[off+3])<<32 |
+			uint64(src[off+4])<<24 | uint64(src[off+5])<<16 |
+			uint64(src[off+6])<<8 | uint64(src[off+7])
+	}
+	return v, nil
+}

@@ -1,0 +1,429 @@
+package bitvec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	var v Vector
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 190, 191} {
+		if v.Test(i) {
+			t.Fatalf("bit %d set in zero vector", i)
+		}
+		v.Set(i)
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := v.OnesCount(); got != 9 {
+		t.Fatalf("OnesCount = %d, want 9", got)
+	}
+	v.Clear(64)
+	if v.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := v.OnesCount(); got != 8 {
+		t.Fatalf("OnesCount = %d, want 8", got)
+	}
+}
+
+func TestBitZeroIsMSBOfBlockZero(t *testing.T) {
+	var v Vector
+	v.Set(0)
+	if v[0] != 1<<63 {
+		t.Fatalf("bit 0 should be MSB of block 0, got %x", v[0])
+	}
+	var w Vector
+	w.Set(191)
+	if w[2] != 1 {
+		t.Fatalf("bit 191 should be LSB of block 2, got %x", w[2])
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromOnes(1, 70, 180)
+	b := FromOnes(1, 5, 70, 100, 180)
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+	var zero Vector
+	if !zero.SubsetOf(a) {
+		t.Fatal("empty vector should be subset of anything")
+	}
+	if !b.Contains(a) {
+		t.Fatal("Contains should mirror SubsetOf")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var v Vector
+	if !v.IsZero() {
+		t.Fatal("zero value should be zero")
+	}
+	v.Set(100)
+	if v.IsZero() {
+		t.Fatal("non-empty vector reported zero")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromOnes(0, 64, 128)
+	b := FromOnes(64, 128, 191)
+	if got, want := a.Or(b), FromOnes(0, 64, 128, 191); got != want {
+		t.Fatalf("Or = %s", got.Hex())
+	}
+	if got, want := a.And(b), FromOnes(64, 128); got != want {
+		t.Fatalf("And = %s", got.Hex())
+	}
+	if got, want := a.AndNot(b), FromOnes(0); got != want {
+		t.Fatalf("AndNot = %s", got.Hex())
+	}
+	if got, want := a.Xor(b), FromOnes(0, 191); got != want {
+		t.Fatalf("Xor = %s", got.Hex())
+	}
+}
+
+func TestLeftmostRightmost(t *testing.T) {
+	cases := []struct {
+		bits        []int
+		left, right int
+	}{
+		{nil, -1, -1},
+		{[]int{0}, 0, 0},
+		{[]int{191}, 191, 191},
+		{[]int{63, 64}, 63, 64},
+		{[]int{5, 100, 150}, 5, 150},
+		{[]int{128}, 128, 128},
+	}
+	for _, c := range cases {
+		v := FromOnes(c.bits...)
+		if got := v.LeftmostOne(); got != c.left {
+			t.Errorf("LeftmostOne(%v) = %d, want %d", c.bits, got, c.left)
+		}
+		if got := v.RightmostOne(); got != c.right {
+			t.Errorf("RightmostOne(%v) = %d, want %d", c.bits, got, c.right)
+		}
+	}
+}
+
+func TestNextOne(t *testing.T) {
+	v := FromOnes(3, 64, 65, 190)
+	var got []int
+	for j := v.NextOne(0); j >= 0; j = v.NextOne(j + 1) {
+		got = append(got, j)
+	}
+	want := []int{3, 64, 65, 190}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if v.NextOne(191) != -1 {
+		t.Fatal("NextOne(191) should be -1")
+	}
+	if v.NextOne(200) != -1 {
+		t.Fatal("NextOne beyond width should be -1")
+	}
+	if v.NextOne(-5) != 3 {
+		t.Fatal("NextOne with negative start should clamp to 0")
+	}
+}
+
+func TestNextOneMatchesOnes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var v Vector
+		for i := 0; i < rng.Intn(40); i++ {
+			v.Set(rng.Intn(W))
+		}
+		ones := v.Ones(nil)
+		var iter []int
+		for j := v.NextOne(0); j >= 0; j = v.NextOne(j + 1) {
+			iter = append(iter, j)
+		}
+		if len(ones) != len(iter) {
+			t.Fatalf("Ones=%v NextOne=%v", ones, iter)
+		}
+		for i := range ones {
+			if ones[i] != iter[i] {
+				t.Fatalf("Ones=%v NextOne=%v", ones, iter)
+			}
+		}
+		if !sort.IntsAreSorted(ones) {
+			t.Fatalf("Ones not sorted: %v", ones)
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := FromOnes(10, 100)
+	if got := CommonPrefixLen(a, a); got != W {
+		t.Fatalf("prefix of identical = %d, want %d", got, W)
+	}
+	b := FromOnes(10, 101)
+	if got := CommonPrefixLen(a, b); got != 100 {
+		t.Fatalf("prefix = %d, want 100", got)
+	}
+	c := FromOnes(0)
+	var zero Vector
+	if got := CommonPrefixLen(c, zero); got != 0 {
+		t.Fatalf("prefix = %d, want 0", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	v := FromOnes(3, 64, 100, 150)
+	if got, want := v.Prefix(65), FromOnes(3, 64); got != want {
+		t.Fatalf("Prefix(65) = %v", got.Ones(nil))
+	}
+	if got, want := v.Prefix(64), FromOnes(3); got != want {
+		t.Fatalf("Prefix(64) = %v", got.Ones(nil))
+	}
+	if got := v.Prefix(0); !got.IsZero() {
+		t.Fatal("Prefix(0) should be zero")
+	}
+	if got := v.Prefix(-4); !got.IsZero() {
+		t.Fatal("Prefix(<0) should be zero")
+	}
+	if got := v.Prefix(W); got != v {
+		t.Fatal("Prefix(W) should be identity")
+	}
+	if got := v.Prefix(W + 10); got != v {
+		t.Fatal("Prefix(>W) should be identity")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := FromOnes(0)
+	b := FromOnes(1)
+	// In lexicographic bit order a vector with an earlier one-bit is larger
+	// as a big-endian integer.
+	if Compare(a, b) != 1 || Compare(b, a) != -1 || Compare(a, a) != 0 {
+		t.Fatal("Compare ordering wrong")
+	}
+	if !Less(b, a) || Less(a, b) {
+		t.Fatal("Less ordering wrong")
+	}
+}
+
+func TestStringAndHex(t *testing.T) {
+	v := FromOnes(0, 191)
+	s := v.String()
+	if len(s) != W {
+		t.Fatalf("String length = %d", len(s))
+	}
+	if s[0] != '1' || s[191] != '1' || s[1] != '0' {
+		t.Fatalf("String content wrong: %s", s)
+	}
+	h := v.Hex()
+	if len(h) != W/4 {
+		t.Fatalf("Hex length = %d", len(h))
+	}
+	back, err := ParseHex(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Fatal("ParseHex(Hex(v)) != v")
+	}
+}
+
+func TestParseHexErrors(t *testing.T) {
+	if _, err := ParseHex("abc"); err == nil {
+		t.Fatal("short input should fail")
+	}
+	bad := make([]byte, W/4)
+	for i := range bad {
+		bad[i] = 'g'
+	}
+	if _, err := ParseHex(string(bad)); err == nil {
+		t.Fatal("invalid digit should fail")
+	}
+	upper, err := ParseHex("ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789")
+	if err != nil {
+		t.Fatalf("uppercase hex should parse: %v", err)
+	}
+	if upper.IsZero() {
+		t.Fatal("parsed vector should not be zero")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		var v Vector
+		for i := 0; i < rng.Intn(30); i++ {
+			v.Set(rng.Intn(W))
+		}
+		enc := v.AppendBinary(nil)
+		if len(enc) != 24 {
+			t.Fatalf("encoding length = %d", len(enc))
+		}
+		back, err := FromBinary(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Fatal("binary round trip failed")
+		}
+	}
+	if _, err := FromBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short binary should fail")
+	}
+}
+
+func TestFromOnesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromOnes should panic on out-of-range positions")
+		}
+	}()
+	FromOnes(W)
+}
+
+// Property: subset relation is a partial order and Or produces supersets.
+func TestQuickSubsetProperties(t *testing.T) {
+	f := func(a, b, c Vector) bool {
+		// Reflexivity.
+		if !a.SubsetOf(a) {
+			return false
+		}
+		// a∩b ⊆ a and a ⊆ a∪b.
+		if !a.And(b).SubsetOf(a) || !a.SubsetOf(a.Or(b)) {
+			return false
+		}
+		// Transitivity via constructed chain: a∩b ⊆ a ⊆ a∪c.
+		if !a.And(b).SubsetOf(a.Or(c)) {
+			return false
+		}
+		// Antisymmetry: mutual subsets imply equality.
+		if a.SubsetOf(b) && b.SubsetOf(a) && a != b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OnesCount is consistent with Ones and with boolean algebra
+// (inclusion-exclusion).
+func TestQuickOnesCount(t *testing.T) {
+	f := func(a, b Vector) bool {
+		if a.OnesCount() != len(a.Ones(nil)) {
+			return false
+		}
+		return a.Or(b).OnesCount()+a.And(b).OnesCount() ==
+			a.OnesCount()+b.OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefix semantics used by the kernel pre-filter: for any two
+// vectors, both share their common prefix, and the prefix is a subset of
+// each.
+func TestQuickCommonPrefix(t *testing.T) {
+	f := func(a, b Vector) bool {
+		n := CommonPrefixLen(a, b)
+		pa, pb := a.Prefix(n), b.Prefix(n)
+		if pa != pb {
+			return false
+		}
+		if !pa.SubsetOf(a) || !pa.SubsetOf(b) {
+			return false
+		}
+		if n < W {
+			// The vectors must differ at bit n.
+			if a.Test(n) == b.Test(n) {
+				return false
+			}
+		}
+		return a == b == (n == W)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare defines a total order consistent with prefix structure:
+// v < w and they first differ at bit n implies w has bit n set.
+func TestQuickCompareOrder(t *testing.T) {
+	f := func(a, b Vector) bool {
+		c := Compare(a, b)
+		if c != -Compare(b, a) {
+			return false
+		}
+		if c == 0 {
+			return a == b
+		}
+		n := CommonPrefixLen(a, b)
+		if n >= W {
+			return false // differing vectors must have a differing bit
+		}
+		if c < 0 {
+			return b.Test(n) && !a.Test(n)
+		}
+		return a.Test(n) && !b.Test(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hex and binary round trips are identities.
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(a Vector) bool {
+		h, err := ParseHex(a.Hex())
+		if err != nil || h != a {
+			return false
+		}
+		b, err := FromBinary(a.AppendBinary(nil))
+		return err == nil && b == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]Vector, 1024)
+	for i := range vs {
+		for j := 0; j < 35; j++ {
+			vs[i].Set(rng.Intn(W))
+		}
+	}
+	q := vs[0].Or(vs[1]).Or(vs[2])
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if vs[i&1023].SubsetOf(q) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkNextOneIteration(b *testing.B) {
+	v := FromOnes(1, 17, 40, 66, 90, 120, 150, 180)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := v.NextOne(0); j >= 0; j = v.NextOne(j + 1) {
+		}
+	}
+}

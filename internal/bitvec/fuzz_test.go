@@ -1,0 +1,79 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// FuzzParseHex checks that arbitrary strings either fail cleanly or
+// round-trip exactly.
+func FuzzParseHex(f *testing.F) {
+	f.Add("0123456789abcdef0123456789abcdef0123456789abcdef")
+	f.Add("")
+	f.Add("zz")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseHex(s)
+		if err != nil {
+			return
+		}
+		if v.Hex() != normalizeHex(s) {
+			t.Fatalf("round trip: %q -> %q", s, v.Hex())
+		}
+	})
+}
+
+// normalizeHex lowercases ASCII hex digits (ParseHex accepts both cases,
+// Hex emits lowercase).
+func normalizeHex(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'F' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}
+
+// FuzzFromBinary checks the binary decoder against the encoder.
+func FuzzFromBinary(f *testing.F) {
+	f.Add(make([]byte, 24))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := FromBinary(data)
+		if err != nil {
+			if len(data) >= Blocks*8 {
+				t.Fatalf("decoder rejected sufficient input (%d bytes)", len(data))
+			}
+			return
+		}
+		enc := v.AppendBinary(nil)
+		for i := range enc {
+			if enc[i] != data[i] {
+				t.Fatalf("round trip differs at byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzSubsetAlgebra derives two vectors from fuzz bytes and checks the
+// subset laws the matcher depends on.
+func FuzzSubsetAlgebra(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		var va, vb Vector
+		for _, x := range a {
+			va.Set(int(x) % W)
+		}
+		for _, x := range b {
+			vb.Set(int(x) % W)
+		}
+		if !va.And(vb).SubsetOf(va) || !va.SubsetOf(va.Or(vb)) {
+			t.Fatal("lattice laws violated")
+		}
+		if va.SubsetOf(vb) != (va.Or(vb) == vb) {
+			t.Fatal("subset inconsistent with union")
+		}
+		if va.SubsetOf(vb) != (va.AndNot(vb).IsZero()) {
+			t.Fatal("subset inconsistent with and-not")
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tagmatch/internal/bitvec"
+)
+
+func TestHashTagDeterministic(t *testing.T) {
+	a := HashTag("hello")
+	b := HashTag("hello")
+	if a != b {
+		t.Fatal("HashTag not deterministic")
+	}
+	c := HashTag("world")
+	if a == c {
+		t.Fatal("distinct tags produced identical positions (suspicious)")
+	}
+	for _, p := range a {
+		if p < 0 || p >= M {
+			t.Fatalf("position %d out of range", p)
+		}
+	}
+}
+
+func TestSignatureSubsetPreserved(t *testing.T) {
+	// S1 ⊆ S2 must imply B1 ⊆ B2 — this is the no-false-negative
+	// guarantee that the whole system depends on.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(10)
+		super := make([]string, n+rng.Intn(5))
+		for i := range super {
+			super[i] = fmt.Sprintf("tag-%d-%d", trial, rng.Intn(1000))
+		}
+		sub := super[:n]
+		bSub, bSuper := Signature(sub), Signature(super)
+		if !bSub.SubsetOf(bSuper) {
+			t.Fatalf("signature of subset not subset of signature: %v vs %v", sub, super)
+		}
+	}
+}
+
+func TestSignatureEmpty(t *testing.T) {
+	if !Signature(nil).IsZero() {
+		t.Fatal("empty set should have zero signature")
+	}
+}
+
+func TestSignatureDuplicateTags(t *testing.T) {
+	a := Signature([]string{"x", "y"})
+	b := Signature([]string{"x", "y", "x", "y", "y"})
+	if a != b {
+		t.Fatal("duplicate tags should not change the signature")
+	}
+}
+
+func TestSignatureOrderIndependent(t *testing.T) {
+	a := Signature([]string{"a", "b", "c"})
+	b := Signature([]string{"c", "a", "b"})
+	if a != b {
+		t.Fatal("signature should not depend on tag order")
+	}
+}
+
+func TestMightContain(t *testing.T) {
+	tags := []string{"news", "sports", "go"}
+	sig := Signature(tags)
+	for _, tag := range tags {
+		if !MightContain(sig, tag) {
+			t.Fatalf("MightContain(%q) = false for member tag", tag)
+		}
+	}
+	// A random long tag is overwhelmingly unlikely to be a false positive
+	// in a 3-tag signature.
+	if MightContain(sig, "definitely-not-present-tag-xyzzy-123456789") {
+		t.Log("false positive for absent tag (possible but unlikely)")
+	}
+}
+
+func TestFalsePositiveProb(t *testing.T) {
+	// Footnote 3: m=192, k=7, |S2|=10, diff=3 gives ~1e-11.
+	p := FalsePositiveProb(10, 3)
+	if p > 1e-9 || p <= 0 {
+		t.Fatalf("P(10,3) = %g, want around 1e-11", p)
+	}
+	// |S2|=5, diff=2 is also about 1e-11 per the paper.
+	p2 := FalsePositiveProb(5, 2)
+	if p2 > 1e-9 || p2 <= 0 {
+		t.Fatalf("P(5,2) = %g, want around 1e-11", p2)
+	}
+	if FalsePositiveProb(10, 0) != 1 {
+		t.Fatal("diff=0 means subset: probability of inclusion should be 1")
+	}
+	if FalsePositiveProb(0, 3) != 0 {
+		t.Fatal("empty query cannot contain a non-empty set")
+	}
+	// Monotonicity: more missing elements → lower probability.
+	if !(FalsePositiveProb(10, 4) < FalsePositiveProb(10, 2)) {
+		t.Fatal("false-positive probability should decrease with diff")
+	}
+	// Larger query → higher probability.
+	if !(FalsePositiveProb(20, 2) > FalsePositiveProb(5, 2)) {
+		t.Fatal("false-positive probability should increase with |S2|")
+	}
+}
+
+func TestExpectedOnes(t *testing.T) {
+	if got := ExpectedOnes(0); got != 0 {
+		t.Fatalf("ExpectedOnes(0) = %g", got)
+	}
+	one := ExpectedOnes(1)
+	if one < 6.5 || one > 7.0 {
+		t.Fatalf("ExpectedOnes(1) = %g, want just under 7", one)
+	}
+	// Saturation: very large sets approach m.
+	if got := ExpectedOnes(10000); math.Abs(got-M) > 1 {
+		t.Fatalf("ExpectedOnes(10000) = %g, want ≈ %d", got, M)
+	}
+	// Monotonic.
+	prev := 0.0
+	for n := 1; n < 100; n++ {
+		cur := ExpectedOnes(n)
+		if cur <= prev {
+			t.Fatalf("ExpectedOnes not increasing at n=%d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestMeasuredFalsePositiveRateIsLow(t *testing.T) {
+	// Empirical sanity check of the Bloom parameters: generate database
+	// sets of 5 tags and queries of 8 unrelated tags; bitwise inclusion
+	// should almost never hold.
+	rng := rand.New(rand.NewSource(99))
+	fp := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		db := make([]string, 5)
+		for j := range db {
+			db[j] = fmt.Sprintf("d%d-%d", i, j)
+		}
+		q := make([]string, 8)
+		for j := range q {
+			q[j] = fmt.Sprintf("q%d-%d-%d", i, j, rng.Int())
+		}
+		if Signature(db).SubsetOf(Signature(q)) {
+			fp++
+		}
+	}
+	if fp > 2 {
+		t.Fatalf("measured %d false positives in %d trials; Bloom parameters broken", fp, trials)
+	}
+}
+
+// Property: signatures are unions of per-tag signatures.
+func TestQuickSignatureIsUnion(t *testing.T) {
+	f := func(raw []string) bool {
+		var union bitvec.Vector
+		for _, tag := range raw {
+			union = union.Or(Signature([]string{tag}))
+		}
+		return union == Signature(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every member tag passes MightContain.
+func TestQuickMightContainMembers(t *testing.T) {
+	f := func(raw []string) bool {
+		sig := Signature(raw)
+		for _, tag := range raw {
+			if !MightContain(sig, tag) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignature5Tags(b *testing.B) {
+	tags := []string{"en_news", "en_sports", "en_go", "en_gpu", "user:42"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Signature(tags)
+	}
+}
+
+func TestSharedVocabularyFalsePositiveRate(t *testing.T) {
+	// Regression test: with a small shared vocabulary ("a:0".."a:2999"),
+	// the original Kirsch–Mitzenmacher probe scheme produced a ~5%
+	// false-positive rate for 1-tag sets against 12-tag queries — 70x
+	// the footnote-3 formula. The mixed-probe scheme must stay close to
+	// the formula (~7e-4 here; allow 4x slack for sampling noise).
+	rng := rand.New(rand.NewSource(2))
+	tag := func(i int) string { return fmt.Sprintf("a:%d", i) }
+	fp, trials := 0, 100000
+	for i := 0; i < trials; i++ {
+		used := map[int]bool{}
+		tags := make([]string, 12)
+		for j := range tags {
+			k := rng.Intn(3000)
+			used[k] = true
+			tags[j] = tag(k)
+		}
+		q := Signature(tags)
+		var f int
+		for {
+			f = rng.Intn(3000)
+			if !used[f] {
+				break
+			}
+		}
+		if MightContain(q, tag(f)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > 4*FalsePositiveProb(12, 1) {
+		t.Fatalf("1-tag false-positive rate %.5f far above formula %.5f: hash distribution degraded",
+			rate, FalsePositiveProb(12, 1))
+	}
+}
+
+func TestHashTagBitUniformity(t *testing.T) {
+	var hist [M]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		for _, p := range HashTag(fmt.Sprintf("a:%d", i)) {
+			hist[p]++
+		}
+	}
+	mean := float64(n*K) / float64(M)
+	for p, h := range hist {
+		if float64(h) < mean*0.7 || float64(h) > mean*1.3 {
+			t.Fatalf("bit %d hit %d times, mean %.0f: positions not uniform", p, h, mean)
+		}
+	}
+}

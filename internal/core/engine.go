@@ -1,0 +1,477 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/bloom"
+	"tagmatch/internal/gpu"
+)
+
+// Engine is a TagMatch subset-matching engine (Table 2 of the paper):
+//
+//	add-set(set, key)       AddSet / AddSignature
+//	remove-set(set, key)    RemoveSet / RemoveSignature
+//	consolidate()           Consolidate
+//	match(q)                Match / Submit
+//	match-unique(q)         MatchUnique / SubmitUnique
+//
+// Additions and removals are staged and become visible only after
+// Consolidate, which rebuilds the partitioned index offline (Algorithm 1)
+// and uploads the tagset table to the configured devices.
+type Engine struct {
+	cfg Config
+
+	// submitMu serializes index swaps against query submission: Submit
+	// holds it shared for the enqueue only; Consolidate holds it
+	// exclusively across drain + rebuild.
+	submitMu sync.RWMutex
+
+	// stagedMu guards the master database and staging area.
+	stagedMu sync.Mutex
+	db       map[bitvec.Vector][]dbEntry // consolidated master copy
+	staged   []stagedOp
+
+	idx atomic.Pointer[index] // immutable between consolidates; swapped under submitMu
+
+	inputCh  chan *query
+	reduceCh chan *batchResult
+	workerWg sync.WaitGroup
+	reduceWg sync.WaitGroup
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+
+	closed atomic.Bool
+
+	submitted       atomic.Int64
+	completed       atomic.Int64
+	batches         atomic.Int64
+	batchesTimedOut atomic.Int64
+	inflightBatches atomic.Int64
+	pairs           atomic.Int64
+	keysDelivered   atomic.Int64
+	overflows       atomic.Int64
+	partsSearched   atomic.Int64
+
+	consolidateTime atomic.Int64 // nanoseconds
+
+	// Cumulative per-stage busy time (nanoseconds), for the stage
+	// breakdown diagnostic. Subset-match time covers dispatch to result
+	// arrival (queueing + kernel + transfer); on the CPU path it is the
+	// synchronous matching time.
+	preprocessNs atomic.Int64
+	matchNs      atomic.Int64
+	reduceNs     atomic.Int64
+}
+
+type stagedOp struct {
+	sig    bitvec.Vector
+	key    Key
+	tags   []string // retained only in ExactVerify mode
+	remove bool
+}
+
+// dbEntry is one (key, tags) association of the master database. tags is
+// nil unless the engine runs in ExactVerify mode.
+type dbEntry struct {
+	key  Key
+	tags []string
+}
+
+// index is the consolidated, immutable matching state.
+type index struct {
+	sets     []bitvec.Vector // flat tagset table, partition-major, sorted within partitions
+	keyOff   []uint32        // CSR offsets into keys; len(sets)+1
+	keys     []Key
+	keyTags  [][]string // aligned with keys; populated only in ExactVerify mode
+	parts    []partition
+	locks    []sync.Mutex // per-partition batch locks
+	pt       *partitionTable
+	maskless []uint32 // partitions with empty mask (degenerate databases)
+
+	devices    []*gpu.Device
+	devBufs    []*gpu.Buffer[bitvec.Vector]
+	streams    chan *streamCtx   // replicated mode: shared pool
+	devStreams []chan *streamCtx // partitioned mode: per-device pools
+	allStreams []*streamCtx
+
+	hostBytes int64
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("tagmatch: engine closed")
+
+// New creates an engine. The engine starts with an empty database; call
+// AddSet then Consolidate before matching.
+func New(cfg Config) (*Engine, error) {
+	cfg.applyDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		db:       make(map[bitvec.Vector][]dbEntry),
+		inputCh:  make(chan *query, 4*cfg.BatchSize),
+		reduceCh: make(chan *batchResult, 64),
+	}
+	e.idx.Store(&index{pt: &partitionTable{}})
+
+	preWorkers := cfg.Threads / 2
+	if preWorkers < 1 {
+		preWorkers = 1
+	}
+	reduceWorkers := cfg.Threads - preWorkers
+	if reduceWorkers < 1 {
+		reduceWorkers = 1
+	}
+	e.workerWg.Add(preWorkers)
+	for i := 0; i < preWorkers; i++ {
+		go e.preprocessWorker()
+	}
+	e.reduceWg.Add(reduceWorkers)
+	for i := 0; i < reduceWorkers; i++ {
+		go e.reduceWorker()
+	}
+	if cfg.BatchTimeout > 0 {
+		e.flushStop = make(chan struct{})
+		e.flushDone = make(chan struct{})
+		go e.flusher()
+	}
+	return e, nil
+}
+
+// AddSet stages the addition of a tag set with an associated key. In
+// ExactVerify mode the original tags are retained so matches can be
+// confirmed exactly (Bloom signatures alone admit rare false positives).
+func (e *Engine) AddSet(tags []string, key Key) {
+	op := stagedOp{sig: bloom.Signature(tags), key: key}
+	if e.cfg.ExactVerify {
+		op.tags = append([]string(nil), tags...)
+	}
+	e.stagedMu.Lock()
+	e.staged = append(e.staged, op)
+	e.stagedMu.Unlock()
+}
+
+// AddSignature stages the addition of a pre-computed signature.
+func (e *Engine) AddSignature(sig bitvec.Vector, key Key) {
+	e.stagedMu.Lock()
+	e.staged = append(e.staged, stagedOp{sig: sig, key: key})
+	e.stagedMu.Unlock()
+}
+
+// RemoveSet stages the removal of one (set, key) association.
+func (e *Engine) RemoveSet(tags []string, key Key) {
+	e.RemoveSignature(bloom.Signature(tags), key)
+}
+
+// RemoveSignature stages the removal of one (signature, key) association.
+func (e *Engine) RemoveSignature(sig bitvec.Vector, key Key) {
+	e.stagedMu.Lock()
+	e.staged = append(e.staged, stagedOp{sig: sig, key: key, remove: true})
+	e.stagedMu.Unlock()
+}
+
+// PendingOps returns the number of staged, unconsolidated operations.
+func (e *Engine) PendingOps() int {
+	e.stagedMu.Lock()
+	defer e.stagedMu.Unlock()
+	return len(e.staged)
+}
+
+// Consolidate applies all staged operations and rebuilds the index: the
+// balanced partitioning of Algorithm 1, lexicographic sorting within
+// partitions, the partition table, the key table, and the device-resident
+// tagset tables. It drains in-flight queries first; new submissions block
+// until the rebuild completes.
+func (e *Engine) Consolidate() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.submitMu.Lock()
+	defer e.submitMu.Unlock()
+
+	// Finish everything routed through the old index.
+	e.flushAll(e.idx.Load())
+	e.awaitDrain()
+
+	start := time.Now()
+
+	e.stagedMu.Lock()
+	for _, op := range e.staged {
+		if op.remove {
+			entries := e.db[op.sig]
+			for i := range entries {
+				if entries[i].key == op.key {
+					entries[i] = entries[len(entries)-1]
+					entries = entries[:len(entries)-1]
+					break
+				}
+			}
+			if len(entries) == 0 {
+				delete(e.db, op.sig)
+			} else {
+				e.db[op.sig] = entries
+			}
+		} else {
+			e.db[op.sig] = append(e.db[op.sig], dbEntry{key: op.key, tags: op.tags})
+		}
+	}
+	e.staged = e.staged[:0]
+	snapshot := make([]bitvec.Vector, 0, len(e.db))
+	entriesBySet := make([][]dbEntry, 0, len(e.db))
+	for sig, entries := range e.db {
+		snapshot = append(snapshot, sig)
+		entriesBySet = append(entriesBySet, entries)
+	}
+	e.stagedMu.Unlock()
+
+	// Release the old index first: its streams and device buffers must
+	// be gone before the new index allocates, or the per-device stream
+	// and memory budgets would be double-counted. The pipeline is
+	// drained and submissions are blocked, so nothing references it.
+	old := e.idx.Load()
+	e.idx.Store(&index{pt: &partitionTable{}})
+	old.release()
+	idx, err := e.buildIndex(snapshot, entriesBySet)
+	if err != nil {
+		// Leave the empty index in place: the engine stays usable (all
+		// queries match nothing) rather than pointing at freed buffers.
+		return err
+	}
+	e.idx.Store(idx)
+
+	e.consolidateTime.Store(int64(time.Since(start)))
+	return nil
+}
+
+// buildIndex constructs a fresh index from a database snapshot.
+func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*index, error) {
+	var specs []partitionSpec
+	if e.cfg.FirstFitPartitioning {
+		specs = firstFitPartition(sigs, e.cfg.MaxPartitionSize)
+	} else {
+		specs = balancedPartition(sigs, e.cfg.MaxPartitionSize)
+	}
+
+	idx := &index{devices: e.cfg.Devices}
+	idx.sets = make([]bitvec.Vector, 0, len(sigs))
+	idx.keyOff = make([]uint32, 1, len(sigs)+1)
+	idx.parts = make([]partition, len(specs))
+	idx.locks = make([]sync.Mutex, len(specs))
+
+	nDev := len(e.cfg.Devices)
+	for pi, spec := range specs {
+		sortMembersLexicographically(sigs, spec.members)
+		off := uint32(len(idx.sets))
+		for _, m := range spec.members {
+			idx.sets = append(idx.sets, sigs[m])
+			for _, en := range entriesBySet[m] {
+				idx.keys = append(idx.keys, en.key)
+				if e.cfg.ExactVerify {
+					idx.keyTags = append(idx.keyTags, en.tags)
+				}
+			}
+			idx.keyOff = append(idx.keyOff, uint32(len(idx.keys)))
+		}
+		dev := 0
+		if nDev > 0 {
+			dev = pi % nDev
+		}
+		idx.parts[pi] = partition{
+			mask: spec.mask,
+			off:  off,
+			n:    uint32(len(spec.members)),
+			dev:  dev,
+		}
+	}
+	idx.pt, idx.maskless = buildPartitionTable(idx.parts)
+
+	if nDev > 0 {
+		if err := e.uploadToDevices(idx); err != nil {
+			idx.release()
+			return nil, err
+		}
+	}
+
+	// Host memory accounting (Fig 9): tagset table host copy, key table,
+	// CSR offsets, partition table.
+	idx.hostBytes = int64(len(idx.sets))*24 +
+		int64(len(idx.keys))*4 +
+		int64(len(idx.keyOff))*4 +
+		int64(idx.pt.entries())*28 +
+		int64(len(idx.parts))*40
+	return idx, nil
+}
+
+// uploadToDevices allocates and fills the device-resident tagset tables
+// and opens the stream pools with their per-stream batch buffers.
+func (e *Engine) uploadToDevices(idx *index) error {
+	nDev := len(idx.devices)
+	idx.devBufs = make([]*gpu.Buffer[bitvec.Vector], nDev)
+
+	if e.cfg.Replicate {
+		// Full replication: every device holds the whole table.
+		for d, dev := range idx.devices {
+			buf, err := gpu.Alloc[bitvec.Vector](dev, len(idx.sets))
+			if err != nil {
+				return fmt.Errorf("uploading tagset table to %s: %w", dev.Name(), err)
+			}
+			if err := buf.CopyToDevice(0, idx.sets); err != nil {
+				return err
+			}
+			idx.devBufs[d] = buf
+		}
+	} else {
+		// Partitioned placement: device d holds only its partitions,
+		// re-packed contiguously. Because partitions are assigned
+		// round-robin in partition order and the flat table is
+		// partition-major, each device's slice is a gather of ranges.
+		for d, dev := range idx.devices {
+			var mine []bitvec.Vector
+			for pi := range idx.parts {
+				if idx.parts[pi].dev != d {
+					continue
+				}
+				p := &idx.parts[pi]
+				p.devOff = uint32(len(mine))
+				mine = append(mine, idx.sets[p.off:p.off+p.n]...)
+			}
+			buf, err := gpu.Alloc[bitvec.Vector](dev, len(mine))
+			if err != nil {
+				return fmt.Errorf("uploading tagset shard to %s: %w", dev.Name(), err)
+			}
+			if err := buf.CopyToDevice(0, mine); err != nil {
+				return err
+			}
+			idx.devBufs[d] = buf
+		}
+	}
+
+	if e.cfg.Replicate {
+		idx.streams = make(chan *streamCtx, nDev*e.cfg.StreamsPerDevice)
+	} else {
+		idx.devStreams = make([]chan *streamCtx, nDev)
+		for d := range idx.devStreams {
+			idx.devStreams[d] = make(chan *streamCtx, e.cfg.StreamsPerDevice)
+		}
+	}
+	for d, dev := range idx.devices {
+		for i := 0; i < e.cfg.StreamsPerDevice; i++ {
+			s, err := dev.OpenStream()
+			if err != nil {
+				if errors.Is(err, gpu.ErrTooManyStreams) && i > 0 {
+					break // use as many as the device allows
+				}
+				return err
+			}
+			sc := &streamCtx{dev: d, stream: s}
+			sc.qbuf, err = gpu.Alloc[bitvec.Vector](dev, e.cfg.BatchSize)
+			if err == nil {
+				sc.hdr, err = gpu.Alloc[uint32](dev, resHeaderWords)
+			}
+			if err == nil {
+				sc.pairs, err = gpu.Alloc[byte](dev, pairBufBytes(e.cfg.MaxPairsPerBatch))
+			}
+			if err == nil && e.cfg.SplitOutputLayout {
+				sc.splitQ, err = gpu.Alloc[uint32](dev, splitHeaderWords+e.cfg.MaxPairsPerBatch)
+				if err == nil {
+					sc.splitS, err = gpu.Alloc[uint32](dev, e.cfg.MaxPairsPerBatch)
+				}
+			}
+			if err != nil {
+				sc.free()
+				s.Close()
+				return fmt.Errorf("allocating stream buffers on %s: %w", dev.Name(), err)
+			}
+			idx.allStreams = append(idx.allStreams, sc)
+			if e.cfg.Replicate {
+				idx.streams <- sc
+			} else {
+				idx.devStreams[d] <- sc
+			}
+		}
+	}
+	return nil
+}
+
+// release frees an index's device resources. Called only after the
+// pipeline has drained, so no kernel references the buffers.
+func (idx *index) release() {
+	for _, sc := range idx.allStreams {
+		sc.stream.Synchronize()
+		sc.free()
+		sc.stream.Close()
+	}
+	idx.allStreams = nil
+	for _, b := range idx.devBufs {
+		b.Free()
+	}
+	idx.devBufs = nil
+}
+
+// Close drains the pipeline and releases all resources. The engine cannot
+// be used afterwards.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if e.flushStop != nil {
+		close(e.flushStop)
+		<-e.flushDone
+	}
+	close(e.inputCh)
+	e.workerWg.Wait()
+	// Preprocess workers are gone; flush whatever they batched.
+	e.flushAll(e.idx.Load())
+	for e.inflightBatches.Load() > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(e.reduceCh)
+	e.reduceWg.Wait()
+	e.idx.Load().release()
+	return nil
+}
+
+// Drain blocks until every submitted query has completed, flushing open
+// batches as needed.
+func (e *Engine) Drain() {
+	e.flushAll(e.idx.Load())
+	e.awaitDrain()
+}
+
+func (e *Engine) awaitDrain() {
+	for e.completed.Load() < e.submitted.Load() {
+		e.flushAll(e.idx.Load())
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	idx := e.idx.Load()
+	st := Stats{
+		UniqueSets:         len(idx.sets),
+		Partitions:         len(idx.parts),
+		Keys:               len(idx.keys),
+		QueriesSubmitted:   e.submitted.Load(),
+		QueriesCompleted:   e.completed.Load(),
+		BatchesDispatched:  e.batches.Load(),
+		BatchesTimedOut:    e.batchesTimedOut.Load(),
+		PairsProduced:      e.pairs.Load(),
+		KeysDelivered:      e.keysDelivered.Load(),
+		ResultOverflows:    e.overflows.Load(),
+		PartitionsSearched: e.partsSearched.Load(),
+		HostBytes:          idx.hostBytes,
+		LastConsolidate:    time.Duration(e.consolidateTime.Load()),
+		PreprocessTime:     time.Duration(e.preprocessNs.Load()),
+		SubsetMatchTime:    time.Duration(e.matchNs.Load()),
+		ReduceTime:         time.Duration(e.reduceNs.Load()),
+	}
+	for _, dev := range idx.devices {
+		st.DeviceBytes = append(st.DeviceBytes, dev.MemInUse())
+	}
+	return st
+}

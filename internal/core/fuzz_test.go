@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzLoadSnapshot feeds arbitrary bytes to the snapshot loader: it must
+// either load cleanly or fail with ErrBadSnapshot — never panic, never
+// hang, never corrupt the engine.
+func FuzzLoadSnapshot(f *testing.F) {
+	// Seed with a valid snapshot and a few mutations.
+	e, err := New(Config{Threads: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.AddSet([]string{"a", "b"}, 1)
+	e.AddSet([]string{"c"}, 2)
+	if err := e.Consolidate(); err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := e.SaveSnapshot(&valid); err != nil {
+		f.Fatal(err)
+	}
+	e.Close()
+
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TMSNAP01"))
+	f.Add(valid.Bytes()[:12])
+	mutated := append([]byte(nil), valid.Bytes()...)
+	if len(mutated) > 20 {
+		mutated[15] ^= 0xff
+	}
+	f.Add(mutated)
+
+	// One engine for the whole fuzz process: creating an engine (worker
+	// goroutines, channels) per execution makes the fuzz coordinator
+	// crawl on small hosts. Loaded state accumulates across executions,
+	// which is harmless for a robustness target.
+	var eng *Engine
+	f.Cleanup(func() {
+		if eng != nil {
+			eng.Close()
+		}
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A fuzzed header can declare 2^60 sets, but the loader streams
+		// until the reader runs dry, so cost is bounded by len(data).
+		if len(data) > 1<<16 {
+			return
+		}
+		if eng == nil {
+			var err error
+			if eng, err = New(Config{Threads: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.LoadSnapshot(bytes.NewReader(data)); err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		// A successful load must leave a usable engine.
+		if _, err := eng.Match([]string{"x"}); err != nil {
+			t.Fatalf("engine unusable after load: %v", err)
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/gpu"
+)
+
+// Result layout (§3.3.1). A (query, set) pair uses an 8-bit query id (its
+// index within the batch) and a 32-bit set id. A naive struct would pad
+// each pair to 64 bits, wasting 38% of memory and bus bandwidth; storing
+// ids in two separate arrays would avoid the waste but require two result
+// copies. TagMatch instead packs results in groups of four pairs — four
+// query-id bytes followed by four little-endian 32-bit set ids:
+//
+//	| q1 q2 q3 q4 | s1 s1 s1 s1 | s2 .. | s3 .. | s4 .. |   (20 bytes)
+//
+// which is byte-dense (worst-case loss: the unused lanes of the final
+// group) and needs a single copy.
+//
+// The pair counter and the overflow flag live in a separate two-word
+// header buffer so the kernel's atomic append has a stable address and
+// the host can reset it with one tiny H2D transfer per batch.
+const (
+	resHeaderWords   = 2  // header buffer: [pair counter, overflow flag]
+	bytesPerGroup    = 20 // 4 query-id bytes + 4×4 set-id bytes
+	splitHeaderWords = 2  // split-layout ablation: counter + overflow
+)
+
+// pairBufBytes returns the byte size of a packed pair buffer holding up
+// to maxPairs pairs.
+func pairBufBytes(maxPairs int) int {
+	return ((maxPairs + 3) / 4) * bytesPerGroup
+}
+
+// emitPacked appends one (query, set) pair to the packed result buffer.
+// Each pair writes to byte addresses owned exclusively by its slot, so
+// concurrent emits from different threads never touch the same byte.
+func emitPacked(b *gpu.BlockCtx, hdr []uint32, pairs []byte, maxPairs int, q uint8, setID uint32) {
+	idx := int(b.AtomicAddU32(&hdr[0], 1))
+	if idx >= maxPairs {
+		atomic.StoreUint32(&hdr[1], 1) // overflow: host re-runs the batch on CPU
+		return
+	}
+	base := (idx / 4) * bytesPerGroup
+	lane := idx % 4
+	pairs[base+lane] = q
+	binary.LittleEndian.PutUint32(pairs[base+4+4*lane:], setID)
+}
+
+// decodePacked yields the first count pairs of a packed result buffer.
+func decodePacked(packed []byte, count int, visit func(q uint8, s uint32)) {
+	for idx := 0; idx < count; idx++ {
+		base := (idx / 4) * bytesPerGroup
+		lane := idx % 4
+		visit(packed[base+lane], binary.LittleEndian.Uint32(packed[base+4+4*lane:]))
+	}
+}
+
+// blockPrefilter implements Algorithm 4: compute the block's common
+// signature prefix — one XOR between the block's first and last set,
+// valid because the tagset table is lexicographically sorted — and
+// collect into block-shared memory the indices of the queries that
+// contain that prefix. Returns nil when no query survives.
+func blockPrefilter(b *gpu.BlockCtx, blockSets []bitvec.Vector, qs []bitvec.Vector) []uint8 {
+	prefixLen := bitvec.CommonPrefixLen(blockSets[0], blockSets[len(blockSets)-1])
+	prefix := blockSets[0].Prefix(prefixLen)
+	shared := make([]uint8, 0, len(qs)) // block shared memory
+	b.Threads(func(tid int) {
+		// Threads stride through the original batch in parallel
+		// (Algorithm 4's while loop); block-sequential execution in the
+		// simulator keeps the appends well-ordered without the atomic.
+		for i := tid; i < len(qs); i += b.Grid.BlockDim {
+			if prefix.SubsetOf(qs[i]) {
+				shared = append(shared, uint8(i))
+			}
+		}
+	})
+	if len(shared) == 0 {
+		return nil
+	}
+	return shared
+}
+
+// matchKernelAt returns the subset-match kernel (Algorithms 3 and 4) for
+// one batch over one partition.
+//
+//   - tagsets: device-resident tagset table (full table in replicated
+//     mode, the device's shard otherwise); the kernel reads the slice
+//     [partOff, partOff+partLen).
+//   - globalBase: global set id of the partition's first set, used to
+//     produce globally meaningful set ids in the output.
+//   - queries: device-resident batch of query signatures.
+//   - hdr, pairs: result header and packed pair buffer.
+//
+// Each thread owns one tag set (the paper's thread_id); the block-level
+// pre-filter prunes the query batch before the per-set subset checks.
+func matchKernelAt(
+	tagsets *gpu.Buffer[bitvec.Vector],
+	partOff, partLen, globalBase int,
+	queries *gpu.Buffer[bitvec.Vector],
+	nQueries int,
+	hdr *gpu.Buffer[uint32],
+	pairs *gpu.Buffer[byte],
+	maxPairs int,
+	prefilter bool,
+) gpu.KernelFunc {
+	return func(b *gpu.BlockCtx) {
+		sets := tagsets.Data()[partOff : partOff+partLen]
+		qs := queries.Data()[:nQueries]
+		h, out := hdr.Data(), pairs.Data()
+
+		first := b.FirstGlobalID()
+		if first >= len(sets) {
+			return
+		}
+		blockSets := sets[first:min(first+b.Grid.BlockDim, len(sets))]
+
+		var shared []uint8
+		if prefilter {
+			if shared = blockPrefilter(b, blockSets, qs); shared == nil {
+				return
+			}
+		}
+
+		// Main subset match (Algorithm 3): one thread per tag set, three
+		// block operations per subset check, atomic append of results.
+		b.Threads(func(tid int) {
+			if tid >= len(blockSets) {
+				return
+			}
+			set := blockSets[tid]
+			setID := uint32(globalBase + first + tid)
+			if prefilter {
+				for _, qi := range shared {
+					if set.SubsetOf(qs[qi]) {
+						emitPacked(b, h, out, maxPairs, qi, setID)
+					}
+				}
+			} else {
+				for i := range qs {
+					if set.SubsetOf(qs[i]) {
+						emitPacked(b, h, out, maxPairs, uint8(i), setID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// splitMatchKernelAt is the ablation variant that stores query ids and
+// set ids in two separate arrays (the layout §3.3.1 rejects), forcing the
+// host to issue two result copies.
+func splitMatchKernelAt(
+	tagsets *gpu.Buffer[bitvec.Vector],
+	partOff, partLen, globalBase int,
+	queries *gpu.Buffer[bitvec.Vector],
+	nQueries int,
+	outQ *gpu.Buffer[uint32],
+	outS *gpu.Buffer[uint32],
+	maxPairs int,
+	prefilter bool,
+) gpu.KernelFunc {
+	return func(b *gpu.BlockCtx) {
+		sets := tagsets.Data()[partOff : partOff+partLen]
+		qs := queries.Data()[:nQueries]
+		qout, sout := outQ.Data(), outS.Data()
+
+		first := b.FirstGlobalID()
+		if first >= len(sets) {
+			return
+		}
+		blockSets := sets[first:min(first+b.Grid.BlockDim, len(sets))]
+
+		var shared []uint8
+		if prefilter {
+			if shared = blockPrefilter(b, blockSets, qs); shared == nil {
+				return
+			}
+		}
+
+		b.Threads(func(tid int) {
+			if tid >= len(blockSets) {
+				return
+			}
+			set := blockSets[tid]
+			setID := uint32(globalBase + first + tid)
+			emit := func(q uint8) {
+				idx := int(b.AtomicAddU32(&qout[0], 1))
+				if idx >= maxPairs {
+					atomic.StoreUint32(&qout[1], 1)
+					return
+				}
+				qout[splitHeaderWords+idx] = uint32(q)
+				sout[idx] = setID
+			}
+			if prefilter {
+				for _, qi := range shared {
+					if set.SubsetOf(qs[qi]) {
+						emit(qi)
+					}
+				}
+			} else {
+				for i := range qs {
+					if set.SubsetOf(qs[i]) {
+						emit(uint8(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// cpuMatchBatch runs the subset match for a whole batch on the CPU: the
+// execution path of CPU-only TagMatch, and the correctness fallback when
+// a GPU result buffer overflows. It applies the same block-prefix
+// shortcut over runs of blockDim lexicographically sorted sets.
+func cpuMatchBatch(
+	sets []bitvec.Vector, // the partition's slice of the tagset table
+	globalBase int, // global set id of sets[0]
+	queries []bitvec.Vector,
+	blockDim int,
+	prefilter bool,
+	visit func(q uint8, s uint32),
+) {
+	if blockDim <= 0 {
+		blockDim = 256
+	}
+	qIdx := make([]uint8, 0, len(queries))
+	for blk := 0; blk < len(sets); blk += blockDim {
+		end := min(blk+blockDim, len(sets))
+		block := sets[blk:end]
+		qIdx = qIdx[:0]
+		if prefilter {
+			prefixLen := bitvec.CommonPrefixLen(block[0], block[len(block)-1])
+			prefix := block[0].Prefix(prefixLen)
+			for i := range queries {
+				if prefix.SubsetOf(queries[i]) {
+					qIdx = append(qIdx, uint8(i))
+				}
+			}
+			if len(qIdx) == 0 {
+				continue
+			}
+		} else {
+			for i := range queries {
+				qIdx = append(qIdx, uint8(i))
+			}
+		}
+		for t := range block {
+			setID := uint32(globalBase + blk + t)
+			for _, qi := range qIdx {
+				if block[t].SubsetOf(queries[qi]) {
+					visit(qi, setID)
+				}
+			}
+		}
+	}
+}

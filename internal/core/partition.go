@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"tagmatch/internal/bitvec"
+)
+
+// partitionSpec is the output of the balanced partitioner: a mask and the
+// indices (into the caller's set slice) of the partition members.
+type partitionSpec struct {
+	mask    bitvec.Vector
+	members []int32
+}
+
+// balancedPartition implements Algorithm 1 of the paper: recursively split
+// the database on the unused bit whose one-frequency is closest to 50%
+// until every partition has at most maxP members and a non-empty mask.
+//
+// Splitting always consumes the pivot bit, so the recursion terminates
+// even on pathological inputs; if every bit has been used and a partition
+// is still oversized or mask-less (possible only with near-duplicate
+// signatures), the partition is accepted as is.
+func balancedPartition(sets []bitvec.Vector, maxP int) []partitionSpec {
+	if len(sets) == 0 {
+		return nil
+	}
+	if maxP < 1 {
+		maxP = 1
+	}
+	all := make([]int32, len(sets))
+	for i := range all {
+		all[i] = int32(i)
+	}
+
+	type work struct {
+		mask    bitvec.Vector
+		used    bitvec.Vector
+		members []int32
+	}
+	queue := []work{{members: all}}
+	var out []partitionSpec
+
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if len(w.members) <= maxP && !w.mask.IsZero() {
+			out = append(out, partitionSpec{mask: w.mask, members: w.members})
+			continue
+		}
+
+		pivot := pickPivot(sets, w.members, w.used)
+		if pivot < 0 {
+			// All 192 bits consumed; accept the remainder.
+			out = append(out, partitionSpec{mask: w.mask, members: w.members})
+			continue
+		}
+		w.used.Set(pivot)
+
+		// Split in place: members with pivot bit zero first.
+		var p0, p1 []int32
+		for _, idx := range w.members {
+			if sets[idx].Test(pivot) {
+				p1 = append(p1, idx)
+			} else {
+				p0 = append(p0, idx)
+			}
+		}
+		if len(p0) > 0 {
+			queue = append(queue, work{mask: w.mask, used: w.used, members: p0})
+		}
+		if len(p1) > 0 {
+			m := w.mask
+			m.Set(pivot)
+			queue = append(queue, work{mask: m, used: w.used, members: p1})
+		}
+	}
+	return out
+}
+
+// pickPivot returns the bit position not in used whose one-frequency over
+// the member sets is closest to 50%, or -1 when every bit is used.
+// Frequencies of exactly 0 or |members| are deprioritized (they do not
+// split the partition) but remain legal: consuming such a bit still makes
+// progress because used_bits grows.
+func pickPivot(sets []bitvec.Vector, members []int32, used bitvec.Vector) int {
+	var freq [bitvec.W]int32
+	for _, idx := range members {
+		v := sets[idx]
+		for b := 0; b < bitvec.Blocks; b++ {
+			blk := v[b]
+			for blk != 0 {
+				// Position of leftmost one-bit within the block.
+				i := bits.LeadingZeros64(blk)
+				freq[b*64+i]++
+				blk &^= 1 << (63 - uint(i))
+			}
+		}
+	}
+	n := int32(len(members))
+	half := n / 2
+	best, bestDist := -1, int32(1<<30)
+	var fallback int = -1
+	for p := 0; p < bitvec.W; p++ {
+		if used.Test(p) {
+			continue
+		}
+		f := freq[p]
+		if f == 0 || f == n {
+			if fallback < 0 {
+				fallback = p
+			}
+			continue
+		}
+		d := f - half
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return fallback
+}
+
+// firstFitPartition is the naive alternative used by the partitioning
+// ablation: sort all sets lexicographically and cut them into runs of at
+// most maxP, with each run's mask being the bitwise intersection of its
+// members. Unlike Algorithm 1 the masks are whatever the data happens to
+// share — frequently empty — so the partition table prunes poorly.
+func firstFitPartition(sets []bitvec.Vector, maxP int) []partitionSpec {
+	if len(sets) == 0 {
+		return nil
+	}
+	if maxP < 1 {
+		maxP = 1
+	}
+	order := make([]int32, len(sets))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortMembersLexicographically(sets, order)
+	var out []partitionSpec
+	for off := 0; off < len(order); off += maxP {
+		end := off + maxP
+		if end > len(order) {
+			end = len(order)
+		}
+		members := order[off:end]
+		mask := sets[members[0]]
+		for _, m := range members[1:] {
+			mask = mask.And(sets[m])
+		}
+		out = append(out, partitionSpec{mask: mask, members: members})
+	}
+	return out
+}
+
+// sortMembersLexicographically orders a partition's members in the
+// lexicographic bit order of their signatures so that consecutive sets —
+// and therefore the sets of one GPU thread block — share long common
+// prefixes, which is what makes the Algorithm 4 pre-filter effective.
+func sortMembersLexicographically(sets []bitvec.Vector, members []int32) {
+	sort.Slice(members, func(i, j int) bool {
+		return bitvec.Less(sets[members[i]], sets[members[j]])
+	})
+}

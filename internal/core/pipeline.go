@@ -1,0 +1,529 @@
+package core
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/bloom"
+	"tagmatch/internal/gpu"
+)
+
+// query is one match operation flowing through the pipeline.
+type query struct {
+	sig    bitvec.Vector
+	unique bool
+	start  time.Time
+	idx    *index
+
+	// tags holds the query's tag set in ExactVerify mode; nil queries
+	// (submitted by signature) skip exact verification.
+	tags map[string]struct{}
+
+	// pending counts the batches this query still has in flight, plus a
+	// +1 guard held during pre-processing so the query cannot complete
+	// while it is still being routed.
+	pending atomic.Int32
+
+	mu   sync.Mutex
+	keys []Key
+
+	done func(MatchResult)
+}
+
+// finish decrements the outstanding-batch counter and runs the merge
+// stage (§3.4) when it reaches zero.
+func (q *query) finish(e *Engine, n int32) {
+	if q.pending.Add(-n) != 0 {
+		return
+	}
+	q.mu.Lock()
+	keys := q.keys
+	q.keys = nil
+	q.mu.Unlock()
+	if q.unique {
+		keys = dedupKeys(keys)
+	}
+	e.keysDelivered.Add(int64(len(keys)))
+	e.completed.Add(1)
+	if q.done != nil {
+		q.done(MatchResult{Keys: keys, Latency: time.Since(q.start)})
+	}
+}
+
+// dedupKeys sorts and compacts a key slice in place (merge stage of
+// match-unique).
+func dedupKeys(keys []Key) []Key {
+	if len(keys) < 2 {
+		return keys
+	}
+	sortKeys(keys)
+	out := keys[:1]
+	for _, k := range keys[1:] {
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func sortKeys(keys []Key) {
+	// Insertion sort for the short slices typical of selective queries;
+	// stdlib pdqsort for large fan-out results.
+	if len(keys) < 24 {
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		return
+	}
+	slices.Sort(keys)
+}
+
+// openBatch is a per-partition batch of queries being filled by the
+// pre-process stage.
+type openBatch struct {
+	pid        uint32
+	queries    []*query
+	sigs       []bitvec.Vector
+	created    time.Time
+	dispatched time.Time
+}
+
+// streamCtx bundles a GPU stream with its per-stream device buffers: the
+// query batch buffer, the result header (pair counter + overflow flag),
+// the packed pair buffer, and — for the split-layout ablation — the two
+// separate id arrays.
+type streamCtx struct {
+	dev    int
+	stream *gpu.Stream
+	qbuf   *gpu.Buffer[bitvec.Vector]
+	hdr    *gpu.Buffer[uint32]
+	pairs  *gpu.Buffer[byte]
+	splitQ *gpu.Buffer[uint32]
+	splitS *gpu.Buffer[uint32]
+}
+
+func (sc *streamCtx) free() {
+	sc.qbuf.Free()
+	sc.hdr.Free()
+	sc.pairs.Free()
+	sc.splitQ.Free()
+	sc.splitS.Free()
+}
+
+// batchResult carries a completed subset-match batch to the key-lookup
+// stage. Exactly one of pairsPacked / (qIDs,sIDs) / overflow is the
+// payload source.
+type batchResult struct {
+	idx      *index
+	batch    *openBatch
+	count    int
+	overflow bool
+	packed   []byte   // packed layout payload
+	qIDs     []uint32 // split layout payload
+	sIDs     []uint32
+}
+
+// Submit enqueues a match(q) operation; done is invoked exactly once with
+// the multiset of matching keys. Returns ErrClosed after Close.
+func (e *Engine) Submit(tags []string, done func(MatchResult)) error {
+	return e.submit(bloom.Signature(tags), e.tagSet(tags), false, done)
+}
+
+// SubmitUnique enqueues a match-unique(q) operation.
+func (e *Engine) SubmitUnique(tags []string, done func(MatchResult)) error {
+	return e.submit(bloom.Signature(tags), e.tagSet(tags), true, done)
+}
+
+// SubmitSignature enqueues a match on a pre-computed signature. In
+// ExactVerify mode such queries cannot be verified and behave as plain
+// Bloom matches.
+func (e *Engine) SubmitSignature(sig bitvec.Vector, unique bool, done func(MatchResult)) error {
+	return e.submit(sig, nil, unique, done)
+}
+
+// tagSet builds the exact-verification set for a query, or nil when the
+// engine does not verify.
+func (e *Engine) tagSet(tags []string) map[string]struct{} {
+	if !e.cfg.ExactVerify {
+		return nil
+	}
+	set := make(map[string]struct{}, len(tags))
+	for _, t := range tags {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool, done func(MatchResult)) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.submitMu.RLock()
+	idx := e.idx.Load()
+	q := &query{sig: sig, tags: tags, unique: unique, start: time.Now(), idx: idx, done: done}
+	q.pending.Store(1) // pre-processing guard
+	e.submitted.Add(1)
+	e.inputCh <- q
+	e.submitMu.RUnlock()
+	return nil
+}
+
+// Match performs a blocking match(q) and returns the multiset of keys of
+// all indexed sets that are subsets of the query. It flushes open batches
+// after submitting, so it completes promptly even without traffic; use
+// Submit for maximal throughput.
+func (e *Engine) Match(tags []string) ([]Key, error) {
+	return e.blockingMatch(bloom.Signature(tags), e.tagSet(tags), false)
+}
+
+// MatchUnique performs a blocking match-unique(q): the deduplicated set
+// of keys associated with at least one matching set.
+func (e *Engine) MatchUnique(tags []string) ([]Key, error) {
+	return e.blockingMatch(bloom.Signature(tags), e.tagSet(tags), true)
+}
+
+// MatchSignature is Match on a pre-computed signature.
+func (e *Engine) MatchSignature(sig bitvec.Vector, unique bool) ([]Key, error) {
+	return e.blockingMatch(sig, nil, unique)
+}
+
+func (e *Engine) blockingMatch(sig bitvec.Vector, tags map[string]struct{}, unique bool) ([]Key, error) {
+	ch := make(chan MatchResult, 1)
+	if err := e.submit(sig, tags, unique, func(r MatchResult) { ch <- r }); err != nil {
+		return nil, err
+	}
+	// Nudge the pipeline until the result arrives: without background
+	// traffic the query's batches would otherwise wait for their flush
+	// timeout, and a single flush could race ahead of the pre-process
+	// stage enqueuing the query.
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case r := <-ch:
+			return r.Keys, nil
+		case <-tick.C:
+			e.flushAll(e.idx.Load())
+		}
+	}
+}
+
+// preprocessWorker implements the pre-process stage (Algorithm 2): find
+// the partitions whose mask is a subset of the query and enqueue the
+// query into their batches.
+func (e *Engine) preprocessWorker() {
+	defer e.workerWg.Done()
+	var pids []uint32
+	for q := range e.inputCh {
+		idx := q.idx
+		t0 := time.Now()
+		pids = idx.pt.lookup(q.sig, pids[:0])
+		pids = append(pids, idx.maskless...)
+		e.partsSearched.Add(int64(len(pids)))
+		for _, pid := range pids {
+			q.pending.Add(1)
+			if full := e.appendToBatch(idx, pid, q); full != nil {
+				e.preprocessNs.Add(int64(time.Since(t0)))
+				e.dispatch(idx, full)
+				t0 = time.Now()
+			}
+		}
+		e.preprocessNs.Add(int64(time.Since(t0)))
+		// Drop the pre-processing guard; completes the query now if it
+		// matched no partitions (or they all finished already).
+		q.finish(e, 1)
+	}
+}
+
+// appendToBatch adds the query to the partition's open batch and returns
+// the batch if it just became full.
+func (e *Engine) appendToBatch(idx *index, pid uint32, q *query) *openBatch {
+	p := &idx.parts[pid]
+	idx.locks[pid].Lock()
+	if p.batch == nil {
+		p.batch = &openBatch{
+			pid:     pid,
+			queries: make([]*query, 0, e.cfg.BatchSize),
+			sigs:    make([]bitvec.Vector, 0, e.cfg.BatchSize),
+			created: time.Now(),
+		}
+	}
+	b := p.batch
+	b.queries = append(b.queries, q)
+	b.sigs = append(b.sigs, q.sig)
+	if len(b.queries) >= e.cfg.BatchSize {
+		p.batch = nil
+		idx.locks[pid].Unlock()
+		return b
+	}
+	idx.locks[pid].Unlock()
+	return nil
+}
+
+// flushAll dispatches every open batch regardless of fill level.
+func (e *Engine) flushAll(idx *index) {
+	for pid := range idx.parts {
+		p := &idx.parts[pid]
+		idx.locks[pid].Lock()
+		b := p.batch
+		p.batch = nil
+		idx.locks[pid].Unlock()
+		if b != nil {
+			e.dispatch(idx, b)
+		}
+	}
+}
+
+// flusher enforces the batch timeout (§3): partially filled batches are
+// pushed through the pipeline once they age past BatchTimeout.
+func (e *Engine) flusher() {
+	defer close(e.flushDone)
+	tick := e.cfg.BatchTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.flushStop:
+			return
+		case now := <-t.C:
+			idx := e.idx.Load()
+			for pid := range idx.parts {
+				p := &idx.parts[pid]
+				idx.locks[pid].Lock()
+				var b *openBatch
+				if p.batch != nil && now.Sub(p.batch.created) >= e.cfg.BatchTimeout {
+					b = p.batch
+					p.batch = nil
+				}
+				idx.locks[pid].Unlock()
+				if b != nil {
+					e.batchesTimedOut.Add(1)
+					e.dispatch(idx, b)
+				}
+			}
+		}
+	}
+}
+
+// dispatch runs the subset-match stage for one batch: on a GPU stream
+// when devices are configured, otherwise synchronously on the calling CPU
+// thread (CPU-only TagMatch).
+func (e *Engine) dispatch(idx *index, b *openBatch) {
+	e.batches.Add(1)
+	e.inflightBatches.Add(1)
+	b.dispatched = time.Now()
+	if len(idx.devices) == 0 {
+		e.cpuDispatch(idx, b)
+		return
+	}
+	e.gpuDispatch(idx, b)
+}
+
+// cpuDispatch executes the batch's subset match inline and forwards the
+// result to the reduce stage.
+func (e *Engine) cpuDispatch(idx *index, b *openBatch) {
+	res := &batchResult{idx: idx, batch: b, overflow: true} // reduce runs the CPU match
+	e.reduceCh <- res
+}
+
+// gpuDispatch issues the copy/launch/copy sequence on an acquired stream
+// (§3.3.2). All operations are asynchronous; the final stream callback
+// hands the results to the reduce stage and releases the stream.
+func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
+	p := &idx.parts[b.pid]
+	var sc *streamCtx
+	if e.cfg.Replicate {
+		sc = <-idx.streams
+	} else {
+		sc = <-idx.devStreams[p.dev]
+	}
+	dev := sc.dev
+	buf := idx.devBufs[dev]
+	partOff := int(p.off)
+	if !e.cfg.Replicate {
+		partOff = int(p.devOff)
+	}
+	globalBase := int(p.off)
+	nQ := len(b.sigs)
+	grid := gpu.Grid{
+		Blocks:   (int(p.n) + e.cfg.BlockDim - 1) / e.cfg.BlockDim,
+		BlockDim: e.cfg.BlockDim,
+	}
+
+	release := func() {
+		if e.cfg.Replicate {
+			idx.streams <- sc
+		} else {
+			idx.devStreams[dev] <- sc
+		}
+	}
+
+	if e.cfg.SplitOutputLayout {
+		// Ablation: two separate id arrays, two result copies.
+		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, []uint32{0, 0})
+		gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
+		sc.stream.LaunchAsync(grid, splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
+			sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter))
+		hdrHost := make([]uint32, splitHeaderWords)
+		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, hdrHost, 0)
+		sc.stream.Callback(func() {
+			count, overflow := clampCount(hdrHost[0], hdrHost[1], e.cfg.MaxPairsPerBatch)
+			res := &batchResult{idx: idx, batch: b, count: count, overflow: overflow}
+			if !overflow && count > 0 {
+				res.qIDs = make([]uint32, count)
+				res.sIDs = make([]uint32, count)
+				// Two exact-size copies: the cost the packed layout avoids.
+				if err := sc.splitQ.CopyFromDevice(res.qIDs, splitHeaderWords); err != nil {
+					panic(err)
+				}
+				if err := sc.splitS.CopyFromDevice(res.sIDs, 0); err != nil {
+					panic(err)
+				}
+			}
+			release()
+			e.reduceCh <- res
+		})
+		return
+	}
+
+	// Packed layout (§3.3.1). Zero the device-side header (the analogue
+	// of cudaMemsetAsync), copy the batch, launch, then transfer results.
+	gpu.CopyToDeviceAsync(sc.stream, sc.hdr, 0, []uint32{0, 0})
+	gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
+	sc.stream.LaunchAsync(grid, matchKernelAt(buf, partOff, int(p.n), globalBase,
+		sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter))
+
+	if e.cfg.SizeThenCopy {
+		// Ablation: the naive scheme — copy the 4-byte size, then issue
+		// a second exact-size copy (an extra paid transfer and an extra
+		// synchronization point per batch).
+		hdrHost := make([]uint32, resHeaderWords)
+		gpu.CopyFromDeviceAsync(sc.stream, sc.hdr, hdrHost, 0)
+		sc.stream.Callback(func() {
+			count, overflow := clampCount(hdrHost[0], hdrHost[1], e.cfg.MaxPairsPerBatch)
+			res := &batchResult{idx: idx, batch: b, count: count, overflow: overflow}
+			if !overflow && count > 0 {
+				res.packed = make([]byte, ((count+3)/4)*20)
+				if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
+					panic(err)
+				}
+			}
+			release()
+			e.reduceCh <- res
+		})
+		return
+	}
+
+	// Double-buffered result transfer (§3.3.2): the paper interleaves
+	// even/odd buffers so each cycle issues exactly one minimal-size
+	// result copy, the size having been learned from the previous
+	// cycle's transfer. In the simulator the stream callback reads the
+	// device-side length for free — the same effect (no extra paid
+	// transfer, no extra round trip) without the cycle bookkeeping — and
+	// then issues the single exact-size copy of header + pairs.
+	sc.stream.Callback(func() {
+		rawCount := atomic.LoadUint32(&sc.hdr.Data()[0])
+		rawOver := atomic.LoadUint32(&sc.hdr.Data()[1])
+		count, overflow := clampCount(rawCount, rawOver, e.cfg.MaxPairsPerBatch)
+		res := &batchResult{idx: idx, batch: b, count: count, overflow: overflow}
+		if !overflow && count > 0 {
+			res.packed = make([]byte, ((count+3)/4)*20)
+			if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
+				panic(err)
+			}
+		}
+		release()
+		e.reduceCh <- res
+	})
+}
+
+// tagsContained reports whether every stored tag is present in the query
+// tag set. Entries stored without tags (AddSignature) cannot be verified
+// and are accepted.
+func tagsContained(tags []string, qset map[string]struct{}) bool {
+	if tags == nil {
+		return true
+	}
+	for _, t := range tags {
+		if _, ok := qset[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// clampCount interprets the kernel's pair counter and overflow flag.
+func clampCount(raw, overflowFlag uint32, maxPairs int) (int, bool) {
+	if overflowFlag != 0 || int(raw) > maxPairs {
+		return 0, true
+	}
+	return int(raw), false
+}
+
+// reduceWorker implements the key lookup/reduce stage (§3.4): decode
+// (query, set) pairs, look up the keys of each set, and append them to
+// the owning query, completing queries whose last batch this was.
+func (e *Engine) reduceWorker() {
+	defer e.reduceWg.Done()
+	for res := range e.reduceCh {
+		e.reduceOne(res)
+	}
+}
+
+func (e *Engine) reduceOne(res *batchResult) {
+	idx := res.idx
+	b := res.batch
+	p := &idx.parts[b.pid]
+	t0 := time.Now()
+	e.matchNs.Add(int64(t0.Sub(b.dispatched)))
+	defer func() { e.reduceNs.Add(int64(time.Since(t0))) }()
+
+	visit := func(qi uint8, setID uint32) {
+		e.pairs.Add(1)
+		q := b.queries[qi]
+		lo, hi := idx.keyOff[setID], idx.keyOff[setID+1]
+		q.mu.Lock()
+		if q.tags != nil && idx.keyTags != nil {
+			// Exact verification (§3): drop Bloom false positives by
+			// re-checking the stored tags against the query's tag set.
+			for j := lo; j < hi; j++ {
+				if tagsContained(idx.keyTags[j], q.tags) {
+					q.keys = append(q.keys, idx.keys[j])
+				}
+			}
+		} else {
+			q.keys = append(q.keys, idx.keys[lo:hi]...)
+		}
+		q.mu.Unlock()
+	}
+
+	switch {
+	case res.overflow:
+		// GPU result buffer overflowed (or CPU-only mode): run the
+		// batch's subset match on the host for correctness.
+		if len(idx.devices) > 0 {
+			e.overflows.Add(1)
+		}
+		sets := idx.sets[p.off : p.off+p.n]
+		cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim, !e.cfg.DisablePrefilter, visit)
+	case res.packed != nil:
+		decodePacked(res.packed, res.count, visit)
+	case res.qIDs != nil:
+		for i := 0; i < res.count; i++ {
+			visit(uint8(res.qIDs[i]), res.sIDs[i])
+		}
+	}
+
+	for _, q := range b.queries {
+		q.finish(e, 1)
+	}
+	e.inflightBatches.Add(-1)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"tagmatch/internal/bitvec"
+)
+
+// partitionTable is the CPU-side index of Algorithm 2: an array of 192
+// bins, where bin j holds the ids of all partitions whose mask's leftmost
+// one-bit is at position j. Because a mask that is a subset of a query
+// must have its leftmost one-bit among the query's one-bits, scanning only
+// the bins of the query's one-bits visits every candidate exactly once.
+//
+// The table is immutable after construction (Consolidate builds a fresh
+// one), so lookups need no locking. The bins store masks inline next to
+// the partition ids to keep the scan cache-friendly, as the paper's
+// "compact data structure" remark prescribes.
+type partitionTable struct {
+	bins [bitvec.W][]maskEntry
+	n    int
+}
+
+type maskEntry struct {
+	mask bitvec.Vector
+	pid  uint32
+}
+
+// buildPartitionTable indexes the given partitions by leftmost mask bit.
+// Partitions with an empty mask (possible only for degenerate databases
+// that exhausted all 192 pivot bits) are returned separately; the caller
+// must route every query to them.
+func buildPartitionTable(parts []partition) (*partitionTable, []uint32) {
+	pt := &partitionTable{n: len(parts)}
+	var maskless []uint32
+	for i := range parts {
+		j := parts[i].mask.LeftmostOne()
+		if j < 0 {
+			maskless = append(maskless, uint32(i))
+			continue
+		}
+		pt.bins[j] = append(pt.bins[j], maskEntry{mask: parts[i].mask, pid: uint32(i)})
+	}
+	return pt, maskless
+}
+
+// lookup appends to dst the ids of all partitions whose mask is a bitwise
+// subset of q, visiting each candidate bin once per one-bit of q
+// (Algorithm 2). Each subset check is three 64-bit block operations.
+func (pt *partitionTable) lookup(q bitvec.Vector, dst []uint32) []uint32 {
+	for j := q.NextOne(0); j >= 0; j = q.NextOne(j + 1) {
+		for _, e := range pt.bins[j] {
+			if e.mask.SubsetOf(q) {
+				dst = append(dst, e.pid)
+			}
+		}
+	}
+	return dst
+}
+
+// entries returns the total number of indexed masks, for memory
+// accounting and tests.
+func (pt *partitionTable) entries() int {
+	n := 0
+	for j := range pt.bins {
+		n += len(pt.bins[j])
+	}
+	return n
+}

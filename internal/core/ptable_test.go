@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"tagmatch/internal/bitvec"
+)
+
+func buildParts(masks ...bitvec.Vector) []partition {
+	parts := make([]partition, len(masks))
+	for i, m := range masks {
+		parts[i] = partition{mask: m}
+	}
+	return parts
+}
+
+func TestPartitionTableLookupFindsAllSubsetMasks(t *testing.T) {
+	masks := []bitvec.Vector{
+		bitvec.FromOnes(1),
+		bitvec.FromOnes(1, 5),
+		bitvec.FromOnes(5),
+		bitvec.FromOnes(7, 100),
+		bitvec.FromOnes(100),
+	}
+	pt, maskless := buildPartitionTable(buildParts(masks...))
+	if len(maskless) != 0 {
+		t.Fatalf("unexpected maskless partitions: %v", maskless)
+	}
+	if pt.entries() != len(masks) {
+		t.Fatalf("entries = %d, want %d", pt.entries(), len(masks))
+	}
+
+	q := bitvec.FromOnes(1, 5, 100)
+	got := pt.lookup(q, nil)
+	want := map[uint32]bool{0: true, 1: true, 2: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("lookup returned %v, want ids %v", got, want)
+	}
+	for _, pid := range got {
+		if !want[pid] {
+			t.Fatalf("unexpected partition %d in %v", pid, got)
+		}
+	}
+}
+
+func TestPartitionTableLookupNoDuplicates(t *testing.T) {
+	// A mask is indexed once (by leftmost bit), so even a query with all
+	// mask bits set must see it exactly once.
+	m := bitvec.FromOnes(3, 9, 50)
+	pt, _ := buildPartitionTable(buildParts(m))
+	q := bitvec.FromOnes(3, 9, 50, 80)
+	got := pt.lookup(q, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("lookup = %v, want exactly [0]", got)
+	}
+}
+
+func TestPartitionTableLookupEmptyQuery(t *testing.T) {
+	pt, _ := buildPartitionTable(buildParts(bitvec.FromOnes(1)))
+	if got := pt.lookup(bitvec.Vector{}, nil); len(got) != 0 {
+		t.Fatalf("empty query matched %v", got)
+	}
+}
+
+func TestPartitionTableMaskless(t *testing.T) {
+	parts := buildParts(bitvec.Vector{}, bitvec.FromOnes(2))
+	pt, maskless := buildPartitionTable(parts)
+	if len(maskless) != 1 || maskless[0] != 0 {
+		t.Fatalf("maskless = %v, want [0]", maskless)
+	}
+	if pt.entries() != 1 {
+		t.Fatalf("entries = %d, want 1", pt.entries())
+	}
+}
+
+func TestPartitionTableAgainstBruteForce(t *testing.T) {
+	sets := randomSets(2000, 5, 11)
+	specs := balancedPartition(sets, 100)
+	parts := make([]partition, len(specs))
+	for i, s := range specs {
+		parts[i] = partition{mask: s.mask}
+	}
+	pt, maskless := buildPartitionTable(parts)
+	if len(maskless) != 0 {
+		t.Fatalf("maskless partitions from random sets: %v", maskless)
+	}
+
+	queries := randomSets(100, 8, 12)
+	for _, q := range queries {
+		got := map[uint32]bool{}
+		for _, pid := range pt.lookup(q, nil) {
+			if got[pid] {
+				t.Fatalf("duplicate pid %d for query %s", pid, q.Hex())
+			}
+			got[pid] = true
+		}
+		for pid := range parts {
+			want := parts[pid].mask.SubsetOf(q)
+			if got[uint32(pid)] != want {
+				t.Fatalf("query %s partition %d: got %v want %v",
+					q.Hex(), pid, got[uint32(pid)], want)
+			}
+		}
+	}
+}
+
+func BenchmarkPartitionTableLookup(b *testing.B) {
+	sets := randomSets(200000, 5, 13)
+	specs := balancedPartition(sets, 1000)
+	parts := make([]partition, len(specs))
+	for i, s := range specs {
+		parts[i] = partition{mask: s.mask}
+	}
+	pt, _ := buildPartitionTable(parts)
+	queries := randomSets(1024, 8, 14)
+	b.ResetTimer()
+	var dst []uint32
+	for i := 0; i < b.N; i++ {
+		dst = pt.lookup(queries[i&1023], dst[:0])
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tagmatch/internal/bitvec"
+)
+
+// Snapshot format (little-endian):
+//
+//	magic   [8]byte  "TMSNAP01"
+//	flags   u32      bit 0: entries carry tags (ExactVerify databases)
+//	nSets   u64      number of unique signatures
+//	then per unique signature:
+//	  sig      [24]byte   big-endian blocks (bitvec encoding)
+//	  nEntries u32
+//	  per entry:
+//	    key   u32
+//	    nTags u16        (only when flags bit 0 is set)
+//	    per tag: u16 length + bytes
+//
+// A snapshot captures the consolidated master database — the durable
+// state of the engine. The partitioned index is derived state and is
+// rebuilt by Consolidate on load, exactly as the paper's system rebuilds
+// its index offline.
+var snapshotMagic = [8]byte{'T', 'M', 'S', 'N', 'A', 'P', '0', '1'}
+
+const snapFlagTags = 1 << 0
+
+// ErrPendingOps is returned by SaveSnapshot when staged operations have
+// not been consolidated: a snapshot must capture a consistent database.
+var ErrPendingOps = errors.New("tagmatch: staged operations pending; Consolidate before SaveSnapshot")
+
+// ErrBadSnapshot reports a malformed or incompatible snapshot stream.
+var ErrBadSnapshot = errors.New("tagmatch: malformed snapshot")
+
+// SaveSnapshot writes the consolidated database to w. It fails with
+// ErrPendingOps if staged, unconsolidated operations exist.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.stagedMu.Lock()
+	defer e.stagedMu.Unlock()
+	if len(e.staged) > 0 {
+		return ErrPendingOps
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if e.cfg.ExactVerify {
+		flags |= snapFlagTags
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(e.db))); err != nil {
+		return err
+	}
+
+	var sigBuf []byte
+	for sig, entries := range e.db {
+		sigBuf = sig.AppendBinary(sigBuf[:0])
+		if _, err := bw.Write(sigBuf); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(entries))); err != nil {
+			return err
+		}
+		for _, en := range entries {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(en.key)); err != nil {
+				return err
+			}
+			if flags&snapFlagTags != 0 {
+				if len(en.tags) > 0xffff {
+					return fmt.Errorf("tagmatch: tag set too large to snapshot (%d tags)", len(en.tags))
+				}
+				if err := binary.Write(bw, binary.LittleEndian, uint16(len(en.tags))); err != nil {
+					return err
+				}
+				for _, t := range en.tags {
+					if len(t) > 0xffff {
+						return fmt.Errorf("tagmatch: tag too long to snapshot (%d bytes)", len(t))
+					}
+					if err := binary.Write(bw, binary.LittleEndian, uint16(len(t))); err != nil {
+						return err
+					}
+					if _, err := bw.WriteString(t); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a snapshot into the engine's staging area and
+// consolidates. It is intended for freshly created engines; loading into
+// a non-empty engine merges the snapshot's associations with existing
+// ones. A snapshot written with tags loads into any engine, but exact
+// verification only applies if the loading engine has ExactVerify set.
+func (e *Engine) LoadSnapshot(r io.Reader) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: reading magic: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	var flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return fmt.Errorf("%w: reading flags: %v", ErrBadSnapshot, err)
+	}
+	var nSets uint64
+	if err := binary.Read(br, binary.LittleEndian, &nSets); err != nil {
+		return fmt.Errorf("%w: reading set count: %v", ErrBadSnapshot, err)
+	}
+
+	// Accumulate locally and commit only after the whole stream parses:
+	// a malformed snapshot must not leave a partial load staged.
+	var ops []stagedOp
+	sigBuf := make([]byte, bitvec.Blocks*8)
+	for s := uint64(0); s < nSets; s++ {
+		if _, err := io.ReadFull(br, sigBuf); err != nil {
+			return fmt.Errorf("%w: reading signature %d: %v", ErrBadSnapshot, s, err)
+		}
+		sig, err := bitvec.FromBinary(sigBuf)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		var nEntries uint32
+		if err := binary.Read(br, binary.LittleEndian, &nEntries); err != nil {
+			return fmt.Errorf("%w: reading entry count: %v", ErrBadSnapshot, err)
+		}
+		for i := uint32(0); i < nEntries; i++ {
+			var key uint32
+			if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
+				return fmt.Errorf("%w: reading key: %v", ErrBadSnapshot, err)
+			}
+			var tags []string
+			if flags&snapFlagTags != 0 {
+				var nTags uint16
+				if err := binary.Read(br, binary.LittleEndian, &nTags); err != nil {
+					return fmt.Errorf("%w: reading tag count: %v", ErrBadSnapshot, err)
+				}
+				tags = make([]string, nTags)
+				for j := range tags {
+					var tl uint16
+					if err := binary.Read(br, binary.LittleEndian, &tl); err != nil {
+						return fmt.Errorf("%w: reading tag length: %v", ErrBadSnapshot, err)
+					}
+					raw := make([]byte, tl)
+					if _, err := io.ReadFull(br, raw); err != nil {
+						return fmt.Errorf("%w: reading tag: %v", ErrBadSnapshot, err)
+					}
+					tags[j] = string(raw)
+				}
+			}
+			op := stagedOp{sig: sig, key: Key(key)}
+			if e.cfg.ExactVerify {
+				op.tags = tags
+			}
+			ops = append(ops, op)
+		}
+	}
+	e.stagedMu.Lock()
+	e.staged = append(e.staged, ops...)
+	e.stagedMu.Unlock()
+	return e.Consolidate()
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := makeTestDB(2000, 5, 3, 71)
+	src, err := New(Config{MaxPartitionSize: 200, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	db.load(src)
+	if err := src.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Config{MaxPartitionSize: 200, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	sst, dstSt := src.Stats(), dst.Stats()
+	if sst.UniqueSets != dstSt.UniqueSets || sst.Keys != dstSt.Keys {
+		t.Fatalf("shape mismatch: src %d/%d, dst %d/%d",
+			sst.UniqueSets, sst.Keys, dstSt.UniqueSets, dstSt.Keys)
+	}
+
+	// Answers must be identical.
+	for _, q := range db.makeQueries(100, 72) {
+		a, err := src.MatchSignature(q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dst.MatchSignature(q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortKeysSlice(a)
+		sortKeysSlice(b)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("answers diverge after snapshot: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSnapshotWithExactTags(t *testing.T) {
+	src, err := New(Config{Threads: 1, ExactVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	src.AddSet([]string{"a", "b"}, 1)
+	src.AddSet([]string{"c"}, 2)
+	if err := src.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Config{Threads: 1, ExactVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Match([]string{"a", "b", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1]" {
+		t.Fatalf("got %v", got)
+	}
+	// The tags survived: a query that bitwise-collides but string-differs
+	// is still verified (cannot easily construct a collision; instead
+	// assert the loaded engine still answers exactly for a subset query).
+	if got, _ := dst.Match([]string{"a"}); len(got) != 0 {
+		t.Fatalf("partial query matched %v", got)
+	}
+}
+
+func TestSnapshotPendingOpsRejected(t *testing.T) {
+	e, err := New(Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.AddSet([]string{"x"}, 1)
+	var buf bytes.Buffer
+	if err := e.SaveSnapshot(&buf); !errors.Is(err, ErrPendingOps) {
+		t.Fatalf("err = %v, want ErrPendingOps", err)
+	}
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("after consolidate: %v", err)
+	}
+}
+
+func TestSnapshotEmptyDatabase(t *testing.T) {
+	src, _ := New(Config{Threads: 1})
+	defer src.Close()
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := New(Config{Threads: 1})
+	defer dst.Close()
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Stats().UniqueSets != 0 {
+		t.Fatal("empty snapshot produced sets")
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	src, _ := New(Config{Threads: 1})
+	defer src.Close()
+	src.AddSet([]string{"a"}, 1)
+	if err := src.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTMAGIC"), full[8:]...),
+		"truncated":   full[:len(full)-3],
+		"short magic": full[:4],
+	}
+	for name, data := range cases {
+		dst, _ := New(Config{Threads: 1})
+		if err := dst.LoadSnapshot(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
+		dst.Close()
+	}
+}
+
+func TestSnapshotLoadMerges(t *testing.T) {
+	src, _ := New(Config{Threads: 1})
+	defer src.Close()
+	src.AddSet([]string{"a"}, 1)
+	if err := src.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _ := New(Config{Threads: 1})
+	defer dst.Close()
+	dst.AddSet([]string{"b"}, 2)
+	if err := dst.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.Match([]string{"a", "b"})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("merged load: %v", got)
+	}
+}

@@ -1,0 +1,205 @@
+// Package core implements the TagMatch subset-matching engine of
+// Rogora et al., "High-Throughput Subset Matching on Commodity GPU-Based
+// Systems" (EuroSys 2017).
+//
+// The engine indexes a database of tag sets, represented as 192-bit
+// Bloom-filter signatures, into balanced partitions (Algorithm 1 of the
+// paper). Queries flow through a four-stage pipeline: pre-process on CPUs
+// (Algorithm 2), subset match on (simulated) GPUs (Algorithms 3 and 4),
+// key lookup/reduce on CPUs, and merge on CPUs. Batching, per-partition
+// flush timeouts, GPU streams, and double-buffered result transfers follow
+// §3.3 and §3.4 of the paper.
+package core
+
+import (
+	"time"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/gpu"
+)
+
+// Key is the application-supplied value associated with a tag set; in the
+// Twitter-like workload a Key is a user id.
+type Key uint32
+
+// SetID identifies a unique tag set in the consolidated tagset table.
+type SetID uint32
+
+// Config controls engine construction. The zero value selects CPU-only
+// operation with paper defaults scaled for small databases; use
+// DefaultConfig for documented defaults.
+type Config struct {
+	// MaxPartitionSize is MAX_P of Algorithm 1: the maximum number of tag
+	// sets per partition. The paper's sweet spot was 200K sets for a 212M
+	// set database (Fig 7); scale proportionally.
+	MaxPartitionSize int
+
+	// BatchSize is the number of queries per GPU batch. Query ids inside
+	// a batch are 8-bit in the packed result layout (§3.3.1), so the
+	// batch size may not exceed 256.
+	BatchSize int
+
+	// BatchTimeout flushes partially filled batches after this delay
+	// (§3, "configurable timeout period"). Zero disables the timeout:
+	// batches wait until full or until Flush/Drain.
+	BatchTimeout time.Duration
+
+	// Threads is the number of CPU worker threads shared by the
+	// pre-process and key-lookup/reduce/merge stages. Defaults to 4.
+	Threads int
+
+	// Devices are the GPUs to use. Empty means CPU-only TagMatch: the
+	// same pipeline with the subset-match stage executed synchronously on
+	// the dispatching CPU thread (the "CPU-only, TagMatch" row of
+	// Table 1).
+	Devices []*gpu.Device
+
+	// StreamsPerDevice is the number of streams opened per GPU; the
+	// paper's platform supported 10. Defaults to min(10, device max).
+	StreamsPerDevice int
+
+	// BlockDim is the GPU thread-block size for the subset-match kernel.
+	// Defaults to 256.
+	BlockDim int
+
+	// MaxPairsPerBatch sizes the kernel result buffer in (query,set)
+	// pairs. A batch producing more matches than this falls back to CPU
+	// matching for correctness (counted in Stats.ResultOverflows).
+	// Defaults to 16×BatchSize.
+	MaxPairsPerBatch int
+
+	// Replicate replicates the tagset table on every device so that any
+	// stream can serve any partition (maximal inter-GPU parallelism).
+	// When false, partitions are spread across devices round-robin and
+	// each batch must use a stream of the owning device. Defaults true
+	// (set by DefaultConfig).
+	Replicate bool
+
+	// DisablePrefilter turns off the thread-block common-prefix
+	// pre-filtering of Algorithm 4 (ablation).
+	DisablePrefilter bool
+
+	// SplitOutputLayout stores query ids and set ids in two separate
+	// device arrays instead of the packed 4+4 layout of §3.3.1,
+	// requiring two result copies per batch (ablation).
+	SplitOutputLayout bool
+
+	// SizeThenCopy replaces the double-buffered single result transfer
+	// with the naive scheme the paper rejects: first copy the 4-byte
+	// result size, then issue a second exact-size copy (ablation).
+	SizeThenCopy bool
+
+	// ExactVerify keeps the original tag sets alongside the Bloom
+	// signatures and re-checks every match exactly during key lookup,
+	// eliminating Bloom false positives entirely (§3: "the system or the
+	// application can perform an additional exact subset check").
+	// Sets staged via AddSignature and queries submitted without tags
+	// cannot be verified and pass through unchecked.
+	ExactVerify bool
+
+	// FirstFitPartitioning replaces the balanced partitioning of
+	// Algorithm 1 with naive first-fit chunking: sets sorted
+	// lexicographically and cut into MAX_P-sized runs, each run's mask
+	// being the intersection of its members (ablation). Masks produced
+	// this way are often empty or tiny, so pre-processing prunes far
+	// fewer partitions.
+	FirstFitPartitioning bool
+}
+
+// DefaultConfig returns the paper-faithful defaults for a database of
+// approximately dbSize sets.
+func DefaultConfig(dbSize int, devices ...*gpu.Device) Config {
+	maxP := dbSize / 1000 // paper ratio: 200K partitions cap for 212M sets
+	if maxP < 64 {
+		maxP = 64
+	}
+	return Config{
+		MaxPartitionSize: maxP,
+		BatchSize:        256,
+		BatchTimeout:     200 * time.Millisecond,
+		Threads:          4,
+		Devices:          devices,
+		StreamsPerDevice: 10,
+		BlockDim:         256,
+		Replicate:        true,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxPartitionSize <= 0 {
+		c.MaxPartitionSize = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchSize > 256 {
+		c.BatchSize = 256 // 8-bit query ids in the packed layout
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.StreamsPerDevice <= 0 {
+		c.StreamsPerDevice = 10
+	}
+	if c.BlockDim <= 0 {
+		c.BlockDim = 256
+	}
+	if c.MaxPairsPerBatch <= 0 {
+		c.MaxPairsPerBatch = 16 * c.BatchSize
+	}
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	// Database shape after the last Consolidate.
+	UniqueSets int
+	Partitions int
+	Keys       int
+
+	// Pipeline counters.
+	QueriesSubmitted   int64
+	QueriesCompleted   int64
+	BatchesDispatched  int64
+	BatchesTimedOut    int64
+	PairsProduced      int64
+	KeysDelivered      int64
+	ResultOverflows    int64
+	PartitionsSearched int64
+
+	// Memory accounting (Fig 9): host side and per-device.
+	HostBytes   int64
+	DeviceBytes []int64
+
+	// LastConsolidate is the duration of the most recent Consolidate
+	// call (Fig 8).
+	LastConsolidate time.Duration
+
+	// Cumulative busy time per pipeline stage, summed across workers:
+	// pre-process (Algorithm 2 + batch fill), subset match (dispatch to
+	// result arrival), and key lookup/reduce. Useful for locating the
+	// pipeline bottleneck on a given host and workload.
+	PreprocessTime  time.Duration
+	SubsetMatchTime time.Duration
+	ReduceTime      time.Duration
+}
+
+// MatchResult carries the outcome of one query through the pipeline.
+type MatchResult struct {
+	// Keys holds the matched keys: a multiset for Match, deduplicated
+	// for MatchUnique.
+	Keys []Key
+	// Latency is the end-to-end time from submission to merge.
+	Latency time.Duration
+}
+
+// partition is one entry of the partition table: the defining mask and the
+// half-open range [off, off+n) of the consolidated tagset table.
+type partition struct {
+	mask   bitvec.Vector
+	off    uint32 // offset in the global flat tagset table
+	n      uint32
+	dev    int    // owning device index when not replicating
+	devOff uint32 // offset in the owning device's shard (partitioned mode)
+
+	batch *openBatch // current filling batch; guarded by the partition lock
+}

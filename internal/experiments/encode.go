@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonTable is the stable serialized form of a Table.
+type jsonTable struct {
+	ID    string    `json:"id"`
+	Title string    `json:"title"`
+	Cols  []string  `json:"cols"`
+	Rows  []jsonRow `json:"rows"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+type jsonRow struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// WriteJSON emits the table as a single JSON object, for plotting
+// pipelines that postprocess experiment output.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{ID: t.ID, Title: t.Title, Cols: t.Cols, Notes: t.Notes}
+	for _, r := range t.Rows {
+		jt.Rows = append(jt.Rows, jsonRow{Label: r.Label, Values: r.Values})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// WriteCSV emits the table as CSV: a header row of column labels, then
+// one row per series.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"series"}, t.Cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, 0, len(r.Values)+1)
+		rec = append(rec, r.Label)
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeJSONTable parses a table previously written by WriteJSON.
+func DecodeJSONTable(r io.Reader) (*Table, error) {
+	var jt jsonTable
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("experiments: decoding table: %w", err)
+	}
+	t := &Table{ID: jt.ID, Title: jt.Title, Cols: jt.Cols, Notes: jt.Notes}
+	for _, r := range jt.Rows {
+		t.Add(r.Label, r.Values...)
+	}
+	return t, nil
+}

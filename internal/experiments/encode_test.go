@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	t := &Table{ID: "demo", Title: "demo table", Cols: []string{"a", "b"}}
+	t.Add("row one", 1.5, 2)
+	t.Add("row two", 1000, 0.25)
+	t.Note("a note")
+	return t
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := demoTable()
+	var buf bytes.Buffer
+	if err := src.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSONTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != src.ID || back.Title != src.Title || len(back.Rows) != 2 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	if back.Rows[1].Values[0] != 1000 || back.Rows[0].Values[1] != 2 {
+		t.Fatalf("round trip lost values: %+v", back.Rows)
+	}
+	if len(back.Notes) != 1 || back.Notes[0] != "a note" {
+		t.Fatalf("round trip lost notes: %v", back.Notes)
+	}
+}
+
+func TestDecodeJSONTableErrors(t *testing.T) {
+	if _, err := DecodeJSONTable(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "series,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "row one,1.5,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

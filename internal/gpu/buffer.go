@@ -1,0 +1,105 @@
+package gpu
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Buffer is a typed region of simulated device memory.
+//
+// Kernels access the backing slice via Data; host code must go through
+// CopyToDevice / CopyFromDevice (directly, or as asynchronous stream
+// operations) so that bus costs and transfer statistics are accounted, the
+// way real code must go through cudaMemcpy.
+type Buffer[T any] struct {
+	dev   *Device
+	data  []T
+	bytes int64
+	freed bool
+}
+
+// Alloc allocates a device buffer of n elements of type T, charging the
+// device memory budget.
+func Alloc[T any](d *Device, n int) (*Buffer[T], error) {
+	var probe T
+	elem := int64(unsafe.Sizeof(probe))
+	bytes := elem * int64(n)
+	if err := d.reserve(bytes); err != nil {
+		return nil, err
+	}
+	return &Buffer[T]{dev: d, data: make([]T, n), bytes: bytes}, nil
+}
+
+// MustAlloc is Alloc that panics on allocation failure; for tests and
+// examples with known-small footprints.
+func MustAlloc[T any](d *Device, n int) *Buffer[T] {
+	b, err := Alloc[T](d, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases the buffer's device memory. Double frees are no-ops.
+func (b *Buffer[T]) Free() {
+	if b == nil || b.freed {
+		return
+	}
+	b.freed = true
+	b.dev.release(b.bytes)
+	b.data = nil
+}
+
+// Len returns the element count.
+func (b *Buffer[T]) Len() int { return len(b.data) }
+
+// Bytes returns the allocation size in bytes.
+func (b *Buffer[T]) Bytes() int64 { return b.bytes }
+
+// Data exposes the device-resident slice for kernel code. Host code
+// accessing Data directly bypasses the simulated bus — the equivalent of
+// dereferencing a device pointer on the host, which real CUDA programs
+// cannot do; keep such access inside kernels.
+func (b *Buffer[T]) Data() []T { return b.data }
+
+// elemBytes returns the size of one element.
+func (b *Buffer[T]) elemBytes() int64 {
+	var probe T
+	return int64(unsafe.Sizeof(probe))
+}
+
+// CopyToDevice synchronously copies src into the buffer starting at
+// element offset dstOff, paying the simulated bus cost.
+func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
+	if b.freed {
+		return fmt.Errorf("gpu: copy to freed buffer")
+	}
+	if dstOff < 0 || dstOff+len(src) > len(b.data) {
+		return fmt.Errorf("gpu: H2D copy out of range: off %d + %d > len %d",
+			dstOff, len(src), len(b.data))
+	}
+	n := int(b.elemBytes()) * len(src)
+	spinWait(b.dev.cfg.Cost.copyCost(n))
+	copy(b.data[dstOff:], src)
+	b.dev.bytesHtoD.Add(int64(n))
+	b.dev.copiesHtoD.Add(1)
+	return nil
+}
+
+// CopyFromDevice synchronously copies elements [srcOff, srcOff+len(dst))
+// of the buffer into dst, paying the simulated bus cost.
+func (b *Buffer[T]) CopyFromDevice(dst []T, srcOff int) error {
+	if b.freed {
+		return fmt.Errorf("gpu: copy from freed buffer")
+	}
+	if srcOff < 0 || srcOff+len(dst) > len(b.data) {
+		return fmt.Errorf("gpu: D2H copy out of range: off %d + %d > len %d",
+			srcOff, len(dst), len(b.data))
+	}
+	n := int(b.elemBytes()) * len(dst)
+	spinWait(b.dev.cfg.Cost.copyCost(n))
+	copy(dst, b.data[srcOff:])
+	b.dev.bytesDtoH.Add(int64(n))
+	b.dev.copiesDtoH.Add(1)
+	return nil
+}

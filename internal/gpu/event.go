@@ -1,0 +1,58 @@
+package gpu
+
+import (
+	"sync"
+	"time"
+)
+
+// Event marks a point in a stream's operation sequence, the analogue of
+// cudaEvent. An event completes when every operation enqueued on its
+// stream before it has executed; Wait blocks for that, and Time reports
+// when it happened. Events are how host code measures device-side phases
+// without inserting synchronization barriers.
+type Event struct {
+	once sync.Once
+	done chan struct{}
+	at   time.Time
+}
+
+// RecordEvent enqueues an event on the stream and returns it
+// immediately.
+func (s *Stream) RecordEvent() *Event {
+	ev := &Event{done: make(chan struct{})}
+	s.ops <- func() {
+		ev.once.Do(func() {
+			ev.at = time.Now()
+			close(ev.done)
+		})
+	}
+	return ev
+}
+
+// Wait blocks until the event has completed.
+func (ev *Event) Wait() {
+	<-ev.done
+}
+
+// Completed reports whether the event has fired without blocking.
+func (ev *Event) Completed() bool {
+	select {
+	case <-ev.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Time returns the completion timestamp, blocking until the event fires.
+func (ev *Event) Time() time.Time {
+	<-ev.done
+	return ev.at
+}
+
+// Elapsed returns the time between two events (cudaEventElapsedTime),
+// blocking until both have fired. The result is negative if b completed
+// before a.
+func Elapsed(a, b *Event) time.Duration {
+	return b.Time().Sub(a.Time())
+}

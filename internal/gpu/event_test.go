@@ -1,0 +1,60 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	d := New(Config{Workers: 2})
+	defer d.Close()
+	s, err := d.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	before := s.RecordEvent()
+	release := make(chan struct{})
+	s.Callback(func() { <-release })
+	after := s.RecordEvent()
+
+	before.Wait()
+	if after.Completed() {
+		t.Fatal("event after a pending operation completed early")
+	}
+	close(release)
+	after.Wait()
+	if el := Elapsed(before, after); el < 0 {
+		t.Fatalf("elapsed = %v, want >= 0", el)
+	}
+}
+
+func TestEventMeasuresKernelPhase(t *testing.T) {
+	d := New(Config{Workers: 2, Cost: CostModel{LaunchOverhead: 2 * time.Millisecond}})
+	defer d.Close()
+	s, _ := d.OpenStream()
+	defer s.Close()
+
+	start := s.RecordEvent()
+	s.LaunchAsync(Grid{Blocks: 1, BlockDim: 1}, func(b *BlockCtx) {})
+	end := s.RecordEvent()
+	if el := Elapsed(start, end); el < 2*time.Millisecond {
+		t.Fatalf("kernel phase measured %v, want >= launch overhead 2ms", el)
+	}
+}
+
+func TestEventCompletedNonBlocking(t *testing.T) {
+	d := New(Config{Workers: 1})
+	defer d.Close()
+	s, _ := d.OpenStream()
+	defer s.Close()
+	ev := s.RecordEvent()
+	s.Synchronize()
+	if !ev.Completed() {
+		t.Fatal("event not completed after stream synchronize")
+	}
+	if ev.Time().IsZero() {
+		t.Fatal("event time not recorded")
+	}
+}

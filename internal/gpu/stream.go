@@ -1,0 +1,105 @@
+package gpu
+
+import (
+	"sync"
+)
+
+// Stream is a FIFO queue of device operations, the analogue of a CUDA
+// stream (§3.3.2). Operations enqueued on one stream execute strictly in
+// order; operations on different streams execute concurrently, limited
+// only by the device's SM workers and the (shared) simulated bus.
+//
+// All enqueue methods are asynchronous: they return as soon as the
+// operation is queued. Synchronize blocks until every previously enqueued
+// operation has completed. A Stream's methods may be called from multiple
+// goroutines, but the typical TagMatch usage gives each CPU thread
+// exclusive use of a stream for one copy/launch/copy sequence at a time.
+type Stream struct {
+	dev  *Device
+	ops  chan func()
+	done sync.WaitGroup // executor goroutine
+}
+
+// OpenStream opens a new stream on the device. It fails with
+// ErrTooManyStreams when MaxStreams streams are already open — the
+// paper's platform capped at 10 streams per GPU, and that cap shapes the
+// thread-scalability results (Fig 5).
+func (d *Device) OpenStream() (*Stream, error) {
+	d.streams.Lock()
+	if d.streams.open >= d.cfg.MaxStreams {
+		d.streams.Unlock()
+		return nil, ErrTooManyStreams
+	}
+	d.streams.open++
+	d.streams.Unlock()
+
+	s := &Stream{dev: d, ops: make(chan func(), 64)}
+	s.done.Add(1)
+	go s.run()
+	return s, nil
+}
+
+func (s *Stream) run() {
+	defer s.done.Done()
+	for op := range s.ops {
+		op()
+	}
+}
+
+// Close drains and closes the stream, releasing its slot on the device.
+func (s *Stream) Close() {
+	close(s.ops)
+	s.done.Wait()
+	s.dev.streams.Lock()
+	s.dev.streams.open--
+	s.dev.streams.Unlock()
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// CopyToDeviceAsync enqueues an H2D copy of src into buf at dstOff.
+// The src slice must not be modified until the operation completes
+// (Synchronize, or a later Callback).
+func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T) {
+	s.ops <- func() {
+		// Errors inside asynchronous ops are programming errors
+		// (out-of-range copies); surface them loudly.
+		if err := buf.CopyToDevice(dstOff, src); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// CopyFromDeviceAsync enqueues a D2H copy of buf[srcOff:srcOff+len(dst)]
+// into dst.
+func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) {
+	s.ops <- func() {
+		if err := buf.CopyFromDevice(dst, srcOff); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// LaunchAsync enqueues a kernel launch. The stream executor blocks until
+// the kernel completes before starting the next operation in this stream,
+// while other streams keep running — the overlap TagMatch exploits.
+func (s *Stream) LaunchAsync(grid Grid, kernel KernelFunc) {
+	s.ops <- func() { s.dev.launch(grid, kernel) }
+}
+
+// Callback enqueues a host callback that runs after all previously
+// enqueued operations complete, like cudaStreamAddCallback. TagMatch uses
+// callbacks to hand results to the key-lookup stage without a blocking
+// synchronization point.
+func (s *Stream) Callback(f func()) {
+	s.ops <- f
+}
+
+// Synchronize blocks until every operation enqueued before the call has
+// completed.
+func (s *Stream) Synchronize() {
+	ch := make(chan struct{})
+	s.ops <- func() { close(ch) }
+	<-ch
+}

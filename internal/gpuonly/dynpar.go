@@ -1,0 +1,266 @@
+package gpuonly
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/gpu"
+)
+
+// DynPar is the alternative GPU-only architecture of §4.5: the
+// pre-process stage also runs on the GPU, appending queries to
+// per-partition queues in global device memory via atomic operations,
+// and subset-match kernels are launched from the device through dynamic
+// parallelism.
+//
+// The paper found this design underperforms whenever many queries
+// survive pre-processing: the per-partition queues induce heavy atomic
+// traffic and near-random writes into (slow) global memory, and results
+// still have to be synchronized back to the CPU. Both effects are
+// present here — the queue appends are atomic ops on the simulated
+// device and the nested launches serialize behind their parent block —
+// so the ablation benchmark reproduces the crossover.
+//
+// One simplification relative to a real CUDA implementation: queue
+// flushes happen in a device-side drain pass after the pre-process grid
+// (launched with dynamic parallelism per non-empty queue) rather than
+// racily mid-kernel; this favors the design, making the measured
+// disadvantage conservative.
+type DynPar struct {
+	dev    *gpu.Device
+	stream *gpu.Stream
+
+	sets  *gpu.Buffer[bitvec.Vector]
+	masks *gpu.Buffer[bitvec.Vector]
+	parts []dynPartition
+	n     int
+
+	keyOff []uint32
+	keys   []Key
+
+	qbuf   *gpu.Buffer[bitvec.Vector]
+	queues *gpu.Buffer[uint32] // per-partition query queues, qcap each
+	qlens  *gpu.Buffer[uint32] // per-partition queue lengths (atomics)
+	hdr    *gpu.Buffer[uint32] // result [count, overflow]
+	outQ   *gpu.Buffer[uint32]
+	outS   *gpu.Buffer[uint32]
+
+	batchSize int
+	qcap      int
+	maxPairs  int
+	blockDim  int
+}
+
+type dynPartition struct {
+	off, n int
+}
+
+// NewDynPar uploads the database, split into contiguous partitions of at
+// most maxP lexicographically sorted sets; each partition's mask is the
+// intersection of its members (the tightest mask all members share).
+func NewDynPar(dev *gpu.Device, sigs []bitvec.Vector, keysBySet [][]Key, maxP, batchSize, maxPairs int) (*DynPar, error) {
+	d := &DynPar{
+		dev: dev, n: len(sigs),
+		batchSize: batchSize, qcap: batchSize, maxPairs: maxPairs, blockDim: 256,
+	}
+	order := make([]int, len(sigs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return bitvec.Less(sigs[order[a]], sigs[order[b]]) })
+	flat := make([]bitvec.Vector, len(sigs))
+	d.keyOff = make([]uint32, 1, len(sigs)+1)
+	for i, o := range order {
+		flat[i] = sigs[o]
+		d.keys = append(d.keys, keysBySet[o]...)
+		d.keyOff = append(d.keyOff, uint32(len(d.keys)))
+	}
+
+	var masks []bitvec.Vector
+	for off := 0; off < len(flat); off += maxP {
+		end := min(off+maxP, len(flat))
+		mask := flat[off]
+		for _, v := range flat[off+1 : end] {
+			mask = mask.And(v)
+		}
+		d.parts = append(d.parts, dynPartition{off: off, n: end - off})
+		masks = append(masks, mask)
+	}
+
+	var err error
+	if d.stream, err = dev.OpenStream(); err != nil {
+		return nil, err
+	}
+	d.sets, err = gpu.Alloc[bitvec.Vector](dev, len(flat))
+	if err != nil {
+		return nil, err
+	}
+	if err = d.sets.CopyToDevice(0, flat); err != nil {
+		return nil, err
+	}
+	d.masks, err = gpu.Alloc[bitvec.Vector](dev, len(masks))
+	if err != nil {
+		return nil, err
+	}
+	if err = d.masks.CopyToDevice(0, masks); err != nil {
+		return nil, err
+	}
+	d.qbuf = gpu.MustAlloc[bitvec.Vector](dev, batchSize)
+	d.queues = gpu.MustAlloc[uint32](dev, len(d.parts)*d.qcap)
+	d.qlens = gpu.MustAlloc[uint32](dev, len(d.parts))
+	d.hdr = gpu.MustAlloc[uint32](dev, 2)
+	d.outQ = gpu.MustAlloc[uint32](dev, maxPairs)
+	d.outS = gpu.MustAlloc[uint32](dev, maxPairs)
+	return d, nil
+}
+
+// MatchBatch routes a batch of queries entirely on the device: an
+// on-device pre-process kernel, then a drain kernel that launches one
+// nested subset-match kernel per non-empty partition queue.
+func (d *DynPar) MatchBatch(queries []bitvec.Vector, visit func(int, Key)) {
+	if len(queries) > d.batchSize {
+		panic("gpuonly: batch larger than configured batchSize")
+	}
+	nQ := len(queries)
+	gpu.CopyToDeviceAsync(d.stream, d.hdr, 0, []uint32{0, 0})
+	gpu.CopyToDeviceAsync(d.stream, d.qlens, 0, make([]uint32, len(d.parts)))
+	gpu.CopyToDeviceAsync(d.stream, d.qbuf, 0, queries)
+
+	// Pre-process kernel: one thread per query, scanning every partition
+	// mask and appending to queues in global memory — the atomic-heavy,
+	// scatter-heavy pattern §4.5 describes.
+	preGrid := gpu.Grid{Blocks: (nQ + d.blockDim - 1) / d.blockDim, BlockDim: d.blockDim}
+	d.stream.LaunchAsync(preGrid, func(b *gpu.BlockCtx) {
+		qs := d.qbuf.Data()[:nQ]
+		masks := d.masks.Data()
+		queues, qlens := d.queues.Data(), d.qlens.Data()
+		hdr := d.hdr.Data()
+		b.Threads(func(tid int) {
+			qi := b.GlobalID(tid)
+			if qi >= nQ {
+				return
+			}
+			for p := range masks {
+				if masks[p].SubsetOf(qs[qi]) {
+					slot := b.AtomicAddU32(&qlens[p], 1)
+					if int(slot) < d.qcap {
+						queues[p*d.qcap+int(slot)] = uint32(qi)
+					} else {
+						// Queue overflow: flag so the host falls back,
+						// otherwise this query's matches would be lost.
+						atomic.StoreUint32(&hdr[1], 1)
+					}
+				}
+			}
+		})
+	})
+
+	// Drain kernel: dynamic parallelism — one nested subset-match kernel
+	// per non-empty partition queue.
+	d.stream.LaunchAsync(gpu.Grid{Blocks: 1, BlockDim: 1}, func(b *gpu.BlockCtx) {
+		qlens := d.qlens.Data()
+		b.Threads(func(int) {
+			for p := range d.parts {
+				qlen := int(atomic.LoadUint32(&qlens[p]))
+				if qlen == 0 {
+					continue
+				}
+				if qlen > d.qcap {
+					qlen = d.qcap
+				}
+				part := d.parts[p]
+				grid := gpu.Grid{Blocks: (part.n + d.blockDim - 1) / d.blockDim, BlockDim: d.blockDim}
+				b.LaunchNested(grid, d.partitionKernel(part, p, qlen, nQ))
+			}
+		})
+	})
+
+	hdrHost := make([]uint32, 2)
+	gpu.CopyFromDeviceAsync(d.stream, d.hdr, hdrHost, 0)
+	d.stream.Synchronize()
+
+	if hdrHost[1] != 0 || int(hdrHost[0]) > d.maxPairs {
+		// Queue or result overflow: host fallback.
+		for qi, q := range queries {
+			for s, v := range d.sets.Data()[:d.n] {
+				if v.SubsetOf(q) {
+					d.visitKeys(uint32(s), func(k Key) { visit(qi, k) })
+				}
+			}
+		}
+		return
+	}
+	n := int(hdrHost[0])
+	qs := make([]uint32, n)
+	ss := make([]uint32, n)
+	if n > 0 {
+		if err := d.outQ.CopyFromDevice(qs, 0); err != nil {
+			panic(err)
+		}
+		if err := d.outS.CopyFromDevice(ss, 0); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		qi := int(qs[i])
+		d.visitKeys(ss[i], func(k Key) { visit(qi, k) })
+	}
+}
+
+// partitionKernel is the nested subset-match kernel over one partition's
+// queued queries.
+func (d *DynPar) partitionKernel(part dynPartition, p, qlen, nQ int) gpu.KernelFunc {
+	return func(b *gpu.BlockCtx) {
+		sets := d.sets.Data()[part.off : part.off+part.n]
+		allQ := d.qbuf.Data()[:nQ]
+		queue := d.queues.Data()[p*d.qcap : p*d.qcap+qlen]
+		hdr, oq, os := d.hdr.Data(), d.outQ.Data(), d.outS.Data()
+		first := b.FirstGlobalID()
+		if first >= len(sets) {
+			return
+		}
+		block := sets[first:min(first+b.Grid.BlockDim, len(sets))]
+		b.Threads(func(tid int) {
+			if tid >= len(block) {
+				return
+			}
+			set := block[tid]
+			setID := uint32(part.off + first + tid)
+			for _, qi := range queue {
+				if set.SubsetOf(allQ[qi]) {
+					idx := int(b.AtomicAddU32(&hdr[0], 1))
+					if idx >= d.maxPairs {
+						atomic.StoreUint32(&hdr[1], 1)
+						return
+					}
+					oq[idx] = qi
+					os[idx] = setID
+				}
+			}
+		})
+	}
+}
+
+func (d *DynPar) visitKeys(setID uint32, visit func(Key)) {
+	for _, k := range d.keys[d.keyOff[setID]:d.keyOff[setID+1]] {
+		visit(k)
+	}
+}
+
+// Partitions returns the number of device-side partitions.
+func (d *DynPar) Partitions() int { return len(d.parts) }
+
+// Close releases device resources.
+func (d *DynPar) Close() {
+	d.stream.Synchronize()
+	d.sets.Free()
+	d.masks.Free()
+	d.qbuf.Free()
+	d.queues.Free()
+	d.qlens.Free()
+	d.hdr.Free()
+	d.outQ.Free()
+	d.outS.Free()
+	d.stream.Close()
+}

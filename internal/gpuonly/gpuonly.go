@@ -1,0 +1,314 @@
+// Package gpuonly implements the GPU-centric strawmen of the paper's
+// evaluation:
+//
+//   - Plain: the "GPU-only, plain" row of Table 1 — one kernel invocation
+//     per query over the entire unpartitioned tagset table, paying the
+//     full copy/launch/copy round trip for every single query.
+//   - Batched: the "GPU-only, plain with batching" row — the same
+//     unpartitioned brute-force kernel, but over batches of queries with
+//     the table sorted lexicographically so the thread-block pre-filter
+//     applies; batching amortizes the per-call costs but there is still
+//     no CPU-side partition index to prune work.
+//   - DynamicParallelism: the §4.5 alternative architecture — both the
+//     pre-process and the subset match run on the GPU, the pre-process
+//     kernel appending queries to per-partition queues in global device
+//     memory with atomic operations and launching nested subset-match
+//     kernels when queues fill.
+//
+// These exist to reproduce the comparisons that motivate TagMatch's
+// hybrid design; they share the simulated device of package gpu.
+package gpuonly
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/gpu"
+)
+
+// Key is the application value associated with a stored set.
+type Key = uint32
+
+// table is the shared device-resident database representation.
+type table struct {
+	dev    *gpu.Device
+	sets   *gpu.Buffer[bitvec.Vector]
+	n      int
+	keyOff []uint32 // host-side CSR key table, as in TagMatch
+	keys   []Key
+}
+
+func uploadTable(dev *gpu.Device, sigs []bitvec.Vector, keysBySet [][]Key, sorted bool) (*table, error) {
+	t := &table{dev: dev, n: len(sigs)}
+	order := make([]int, len(sigs))
+	for i := range order {
+		order[i] = i
+	}
+	if sorted {
+		sort.Slice(order, func(a, b int) bool {
+			return bitvec.Less(sigs[order[a]], sigs[order[b]])
+		})
+	}
+	flat := make([]bitvec.Vector, len(sigs))
+	t.keyOff = make([]uint32, 1, len(sigs)+1)
+	for i, o := range order {
+		flat[i] = sigs[o]
+		t.keys = append(t.keys, keysBySet[o]...)
+		t.keyOff = append(t.keyOff, uint32(len(t.keys)))
+	}
+	var err error
+	t.sets, err = gpu.Alloc[bitvec.Vector](dev, len(flat))
+	if err != nil {
+		return nil, err
+	}
+	if err := t.sets.CopyToDevice(0, flat); err != nil {
+		t.sets.Free()
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *table) free() { t.sets.Free() }
+
+func (t *table) visitKeys(setID uint32, visit func(Key)) {
+	for _, k := range t.keys[t.keyOff[setID]:t.keyOff[setID+1]] {
+		visit(k)
+	}
+}
+
+// bruteKernel checks every set of the table against a batch of queries,
+// with an optional block pre-filter, appending (query, set) ids to two
+// flat output arrays guarded by an atomic counter.
+func bruteKernel(
+	sets *gpu.Buffer[bitvec.Vector],
+	n int,
+	queries *gpu.Buffer[bitvec.Vector],
+	nQueries int,
+	outHdr *gpu.Buffer[uint32], // [count, overflow]
+	outQ, outS *gpu.Buffer[uint32],
+	maxPairs int,
+	prefilter bool,
+) gpu.KernelFunc {
+	return func(b *gpu.BlockCtx) {
+		all := sets.Data()[:n]
+		qs := queries.Data()[:nQueries]
+		hdr, oq, os := outHdr.Data(), outQ.Data(), outS.Data()
+
+		first := b.FirstGlobalID()
+		if first >= len(all) {
+			return
+		}
+		block := all[first:min(first+b.Grid.BlockDim, len(all))]
+
+		var survivors []uint16
+		if prefilter {
+			prefixLen := bitvec.CommonPrefixLen(block[0], block[len(block)-1])
+			prefix := block[0].Prefix(prefixLen)
+			survivors = make([]uint16, 0, len(qs))
+			b.Threads(func(tid int) {
+				for i := tid; i < len(qs); i += b.Grid.BlockDim {
+					if prefix.SubsetOf(qs[i]) {
+						survivors = append(survivors, uint16(i))
+					}
+				}
+			})
+			if len(survivors) == 0 {
+				return
+			}
+		}
+
+		b.Threads(func(tid int) {
+			if tid >= len(block) {
+				return
+			}
+			set := block[tid]
+			setID := uint32(first + tid)
+			emit := func(qi int) {
+				idx := int(b.AtomicAddU32(&hdr[0], 1))
+				if idx >= maxPairs {
+					atomic.StoreUint32(&hdr[1], 1)
+					return
+				}
+				oq[idx] = uint32(qi)
+				os[idx] = setID
+			}
+			if prefilter {
+				for _, qi := range survivors {
+					if set.SubsetOf(qs[qi]) {
+						emit(int(qi))
+					}
+				}
+			} else {
+				for i := range qs {
+					if set.SubsetOf(qs[i]) {
+						emit(i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Plain is the one-kernel-per-query GPU matcher.
+type Plain struct {
+	t        *table
+	stream   *gpu.Stream
+	qbuf     *gpu.Buffer[bitvec.Vector]
+	hdr      *gpu.Buffer[uint32]
+	outQ     *gpu.Buffer[uint32]
+	outS     *gpu.Buffer[uint32]
+	maxPairs int
+	blockDim int
+}
+
+// NewPlain uploads the database and prepares a single stream.
+func NewPlain(dev *gpu.Device, sigs []bitvec.Vector, keysBySet [][]Key, maxPairs int) (*Plain, error) {
+	t, err := uploadTable(dev, sigs, keysBySet, false)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plain{t: t, maxPairs: maxPairs, blockDim: 256}
+	if p.stream, err = dev.OpenStream(); err != nil {
+		t.free()
+		return nil, err
+	}
+	p.qbuf = gpu.MustAlloc[bitvec.Vector](dev, 1)
+	p.hdr = gpu.MustAlloc[uint32](dev, 2)
+	p.outQ = gpu.MustAlloc[uint32](dev, maxPairs)
+	p.outS = gpu.MustAlloc[uint32](dev, maxPairs)
+	return p, nil
+}
+
+// Match runs one query through the full copy/launch/copy round trip and
+// visits every matching key. Overflowing maxPairs falls back to a host
+// scan for correctness.
+func (p *Plain) Match(q bitvec.Vector, visit func(Key)) {
+	gpu.CopyToDeviceAsync(p.stream, p.hdr, 0, []uint32{0, 0})
+	gpu.CopyToDeviceAsync(p.stream, p.qbuf, 0, []bitvec.Vector{q})
+	grid := gpu.Grid{Blocks: (p.t.n + p.blockDim - 1) / p.blockDim, BlockDim: p.blockDim}
+	p.stream.LaunchAsync(grid, bruteKernel(p.t.sets, p.t.n, p.qbuf, 1, p.hdr, p.outQ, p.outS, p.maxPairs, false))
+	hdrHost := make([]uint32, 2)
+	gpu.CopyFromDeviceAsync(p.stream, p.hdr, hdrHost, 0)
+	p.stream.Synchronize()
+
+	if hdrHost[1] != 0 || int(hdrHost[0]) > p.maxPairs {
+		p.hostFallback(q, visit)
+		return
+	}
+	n := int(hdrHost[0])
+	ids := make([]uint32, n)
+	if n > 0 {
+		if err := p.outS.CopyFromDevice(ids, 0); err != nil {
+			panic(err)
+		}
+	}
+	for _, s := range ids {
+		p.t.visitKeys(s, visit)
+	}
+}
+
+func (p *Plain) hostFallback(q bitvec.Vector, visit func(Key)) {
+	for s, v := range p.t.sets.Data()[:p.t.n] {
+		if v.SubsetOf(q) {
+			p.t.visitKeys(uint32(s), visit)
+		}
+	}
+}
+
+// Close releases device resources.
+func (p *Plain) Close() {
+	p.stream.Synchronize()
+	p.qbuf.Free()
+	p.hdr.Free()
+	p.outQ.Free()
+	p.outS.Free()
+	p.stream.Close()
+	p.t.free()
+}
+
+// Batched is the batching GPU matcher: brute force over the whole sorted
+// table, many queries per kernel.
+type Batched struct {
+	t         *table
+	stream    *gpu.Stream
+	qbuf      *gpu.Buffer[bitvec.Vector]
+	hdr       *gpu.Buffer[uint32]
+	outQ      *gpu.Buffer[uint32]
+	outS      *gpu.Buffer[uint32]
+	batchSize int
+	maxPairs  int
+	blockDim  int
+}
+
+// NewBatched uploads the database sorted lexicographically (enabling the
+// block pre-filter) and prepares a stream for batches of batchSize
+// queries.
+func NewBatched(dev *gpu.Device, sigs []bitvec.Vector, keysBySet [][]Key, batchSize, maxPairs int) (*Batched, error) {
+	t, err := uploadTable(dev, sigs, keysBySet, true)
+	if err != nil {
+		return nil, err
+	}
+	m := &Batched{t: t, batchSize: batchSize, maxPairs: maxPairs, blockDim: 256}
+	if m.stream, err = dev.OpenStream(); err != nil {
+		t.free()
+		return nil, err
+	}
+	m.qbuf = gpu.MustAlloc[bitvec.Vector](dev, batchSize)
+	m.hdr = gpu.MustAlloc[uint32](dev, 2)
+	m.outQ = gpu.MustAlloc[uint32](dev, maxPairs)
+	m.outS = gpu.MustAlloc[uint32](dev, maxPairs)
+	return m, nil
+}
+
+// MatchBatch matches up to batchSize queries in one kernel invocation,
+// invoking visit(queryIndex, key) for every match.
+func (m *Batched) MatchBatch(queries []bitvec.Vector, visit func(int, Key)) {
+	if len(queries) > m.batchSize {
+		panic("gpuonly: batch larger than configured batchSize")
+	}
+	gpu.CopyToDeviceAsync(m.stream, m.hdr, 0, []uint32{0, 0})
+	gpu.CopyToDeviceAsync(m.stream, m.qbuf, 0, queries)
+	grid := gpu.Grid{Blocks: (m.t.n + m.blockDim - 1) / m.blockDim, BlockDim: m.blockDim}
+	m.stream.LaunchAsync(grid, bruteKernel(m.t.sets, m.t.n, m.qbuf, len(queries), m.hdr, m.outQ, m.outS, m.maxPairs, true))
+	hdrHost := make([]uint32, 2)
+	gpu.CopyFromDeviceAsync(m.stream, m.hdr, hdrHost, 0)
+	m.stream.Synchronize()
+
+	if hdrHost[1] != 0 || int(hdrHost[0]) > m.maxPairs {
+		for qi, q := range queries {
+			for s, v := range m.t.sets.Data()[:m.t.n] {
+				if v.SubsetOf(q) {
+					m.t.visitKeys(uint32(s), func(k Key) { visit(qi, k) })
+				}
+			}
+		}
+		return
+	}
+	n := int(hdrHost[0])
+	qs := make([]uint32, n)
+	ss := make([]uint32, n)
+	if n > 0 {
+		if err := m.outQ.CopyFromDevice(qs, 0); err != nil {
+			panic(err)
+		}
+		if err := m.outS.CopyFromDevice(ss, 0); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		qi := int(qs[i])
+		m.t.visitKeys(ss[i], func(k Key) { visit(qi, k) })
+	}
+}
+
+// Close releases device resources.
+func (m *Batched) Close() {
+	m.stream.Synchronize()
+	m.qbuf.Free()
+	m.hdr.Free()
+	m.outQ.Free()
+	m.outS.Free()
+	m.stream.Close()
+	m.t.free()
+}

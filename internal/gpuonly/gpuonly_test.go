@@ -1,0 +1,222 @@
+package gpuonly
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/gpu"
+)
+
+type fixture struct {
+	sigs []bitvec.Vector
+	keys [][]Key
+}
+
+func makeFixture(n int, seed int64) *fixture {
+	rng := rand.New(rand.NewSource(seed))
+	f := &fixture{}
+	seen := map[bitvec.Vector]bool{}
+	for len(f.sigs) < n {
+		var v bitvec.Vector
+		for j := 0; j < 35; j++ {
+			v.Set(rng.Intn(bitvec.W))
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		f.sigs = append(f.sigs, v)
+		ks := []Key{Key(len(f.sigs))}
+		if rng.Intn(3) == 0 {
+			ks = append(ks, Key(1000000+len(f.sigs)))
+		}
+		f.keys = append(f.keys, ks)
+	}
+	return f
+}
+
+func (f *fixture) queries(n int, seed int64) []bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bitvec.Vector, n)
+	for i := range out {
+		q := f.sigs[rng.Intn(len(f.sigs))]
+		for j := 0; j < 14; j++ {
+			q.Set(rng.Intn(bitvec.W))
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func (f *fixture) expected(q bitvec.Vector) []Key {
+	var out []Key
+	for i, v := range f.sigs {
+		if v.SubsetOf(q) {
+			out = append(out, f.keys[i]...)
+		}
+	}
+	sortK(out)
+	return out
+}
+
+func sortK(k []Key) { sort.Slice(k, func(i, j int) bool { return k[i] < k[j] }) }
+
+func equalK(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlainMatchesBruteForce(t *testing.T) {
+	f := makeFixture(3000, 81)
+	dev := gpu.New(gpu.Config{Workers: 4})
+	defer dev.Close()
+	p, err := NewPlain(dev, f.sigs, f.keys, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, q := range f.queries(50, 82) {
+		var got []Key
+		p.Match(q, func(k Key) { got = append(got, k) })
+		sortK(got)
+		if want := f.expected(q); !equalK(got, want) {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPlainOverflowFallback(t *testing.T) {
+	f := makeFixture(500, 83)
+	dev := gpu.New(gpu.Config{Workers: 2})
+	defer dev.Close()
+	p, err := NewPlain(dev, f.sigs, f.keys, 1) // force overflow
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	q := f.queries(1, 84)[0]
+	var got []Key
+	p.Match(q, func(k Key) { got = append(got, k) })
+	sortK(got)
+	if want := f.expected(q); !equalK(got, want) {
+		t.Fatalf("overflow fallback wrong: got %v want %v", got, want)
+	}
+}
+
+func TestBatchedMatchesBruteForce(t *testing.T) {
+	f := makeFixture(3000, 85)
+	dev := gpu.New(gpu.Config{Workers: 4})
+	defer dev.Close()
+	m, err := NewBatched(dev, f.sigs, f.keys, 64, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	queries := f.queries(64, 86)
+	got := make([][]Key, len(queries))
+	m.MatchBatch(queries, func(qi int, k Key) { got[qi] = append(got[qi], k) })
+	for i, q := range queries {
+		sortK(got[i])
+		if want := f.expected(q); !equalK(got[i], want) {
+			t.Fatalf("query %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestBatchedPartialBatch(t *testing.T) {
+	f := makeFixture(1000, 87)
+	dev := gpu.New(gpu.Config{Workers: 2})
+	defer dev.Close()
+	m, err := NewBatched(dev, f.sigs, f.keys, 256, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	queries := f.queries(3, 88)
+	got := make([][]Key, len(queries))
+	m.MatchBatch(queries, func(qi int, k Key) { got[qi] = append(got[qi], k) })
+	for i, q := range queries {
+		sortK(got[i])
+		if want := f.expected(q); !equalK(got[i], want) {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestBatchedTooLargePanics(t *testing.T) {
+	f := makeFixture(100, 89)
+	dev := gpu.New(gpu.Config{Workers: 2})
+	defer dev.Close()
+	m, err := NewBatched(dev, f.sigs, f.keys, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized batch should panic")
+		}
+	}()
+	m.MatchBatch(make([]bitvec.Vector, 5), func(int, Key) {})
+}
+
+func TestDynParMatchesBruteForce(t *testing.T) {
+	f := makeFixture(3000, 90)
+	dev := gpu.New(gpu.Config{Workers: 4})
+	defer dev.Close()
+	d, err := NewDynPar(dev, f.sigs, f.keys, 200, 64, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Partitions() < 3000/200 {
+		t.Fatalf("partitions = %d", d.Partitions())
+	}
+	queries := f.queries(64, 91)
+	got := make([][]Key, len(queries))
+	d.MatchBatch(queries, func(qi int, k Key) { got[qi] = append(got[qi], k) })
+	for i, q := range queries {
+		sortK(got[i])
+		if want := f.expected(q); !equalK(got[i], want) {
+			t.Fatalf("query %d: got %d keys want %d", i, len(got[i]), len(f.expected(q)))
+		}
+	}
+	// The defining trait: device-side pre-processing uses atomics and
+	// nested launches.
+	st := dev.Stats()
+	if st.AtomicOps == 0 || st.NestedLaunches == 0 {
+		t.Fatalf("dynamic-parallelism design must show atomics and nested launches: %+v", st)
+	}
+}
+
+func TestDynParQueueOverflowFallsBack(t *testing.T) {
+	f := makeFixture(300, 92)
+	dev := gpu.New(gpu.Config{Workers: 2})
+	defer dev.Close()
+	// qcap = batchSize = 4, but a broad query set routed to few
+	// partitions can overflow per-partition queues; correctness must
+	// survive via host fallback.
+	d, err := NewDynPar(dev, f.sigs, f.keys, 300 /* one partition */, 4, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	queries := f.queries(4, 93)
+	got := make([][]Key, len(queries))
+	d.MatchBatch(queries, func(qi int, k Key) { got[qi] = append(got[qi], k) })
+	for i, q := range queries {
+		sortK(got[i])
+		if want := f.expected(q); !equalK(got[i], want) {
+			t.Fatalf("query %d mismatch after queue pressure", i)
+		}
+	}
+}

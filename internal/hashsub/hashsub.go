@@ -1,0 +1,143 @@
+// Package hashsub implements Rivest's hash-table subset matcher — the
+// first classical solution family the paper describes (§1): "a variant of
+// this second solution looks for the subsets q_j ⊆ q directly in the
+// database (e.g., using a hash table)."
+//
+// The database is a hash table keyed by the canonical encoding of each
+// stored tag set. Matching a query with t distinct tags enumerates all
+// 2^t subsets of the query and probes the table for each, so query cost
+// is exponential in query width but wholly independent of database size
+// — the opposite trade-off of a database scan. The paper's introduction
+// uses exactly this pair of extremes ("one is a linear scan of the
+// database; the other one ... is exponential in the size of the query")
+// to motivate TagMatch's middle road.
+//
+// To bound the exponential, Match refuses queries wider than MaxQueryTags
+// distinct tags (callers can fall back to a scan); the benchmark harness
+// uses this matcher only for narrow-query comparisons.
+package hashsub
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key is the application value associated with a stored set.
+type Key = uint32
+
+// MaxQueryTags bounds subset enumeration: 2^20 probes at most.
+const MaxQueryTags = 20
+
+// Matcher is a hash-table subset matcher.
+type Matcher struct {
+	table  map[string][]Key
+	sets   int
+	keys   int
+	frozen bool
+}
+
+// New returns an empty matcher.
+func New() *Matcher {
+	return &Matcher{table: make(map[string][]Key)}
+}
+
+// canonical returns the sorted distinct tags and their canonical
+// length-prefixed encoding.
+func canonical(tags []string) ([]string, string) {
+	d := make([]string, 0, len(tags))
+	seen := make(map[string]struct{}, len(tags))
+	for _, t := range tags {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			d = append(d, t)
+		}
+	}
+	sort.Strings(d)
+	return d, encode(d)
+}
+
+func encode(sorted []string) string {
+	var enc []byte
+	for _, t := range sorted {
+		enc = append(enc, byte(len(t)>>8), byte(len(t)))
+		enc = append(enc, t...)
+	}
+	return string(enc)
+}
+
+// Add associates a key with a tag set.
+func (m *Matcher) Add(tags []string, key Key) {
+	if m.frozen {
+		panic("hashsub: Add after Freeze")
+	}
+	_, enc := canonical(tags)
+	if _, ok := m.table[enc]; !ok {
+		m.sets++
+	}
+	m.table[enc] = append(m.table[enc], key)
+	m.keys++
+}
+
+// Freeze marks the matcher read-only.
+func (m *Matcher) Freeze() { m.frozen = true }
+
+// Sets returns the number of distinct stored sets.
+func (m *Matcher) Sets() int { return m.sets }
+
+// Keys returns the number of stored associations.
+func (m *Matcher) Keys() int { return m.keys }
+
+// ErrQueryTooWide reports a query beyond the enumeration bound.
+type ErrQueryTooWide struct{ Tags int }
+
+func (e ErrQueryTooWide) Error() string {
+	return fmt.Sprintf("hashsub: query with %d distinct tags exceeds the %d-tag enumeration bound", e.Tags, MaxQueryTags)
+}
+
+// Match visits the keys of every stored set contained in the query by
+// enumerating all subsets of the query's distinct tags and probing the
+// hash table — O(2^t) probes for t distinct query tags, independent of
+// database size.
+func (m *Matcher) Match(query []string, visit func(Key)) error {
+	distinct, _ := canonical(query)
+	t := len(distinct)
+	if t > MaxQueryTags {
+		return ErrQueryTooWide{Tags: t}
+	}
+	// Enumerate subsets by bitmask; mask bit i selects distinct[i].
+	// distinct is sorted, and selecting in index order preserves
+	// sortedness, so encode() keys match the canonical table keys.
+	subset := make([]string, 0, t)
+	for mask := 0; mask < 1<<t; mask++ {
+		subset = subset[:0]
+		for i := 0; i < t; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, distinct[i])
+			}
+		}
+		if keys, ok := m.table[encode(subset)]; ok {
+			for _, k := range keys {
+				visit(k)
+			}
+		}
+	}
+	return nil
+}
+
+// MatchUnique visits each distinct matching key once.
+func (m *Matcher) MatchUnique(query []string, visit func(Key)) error {
+	dedup := make(map[Key]struct{})
+	return m.Match(query, func(k Key) {
+		if _, dup := dedup[k]; !dup {
+			dedup[k] = struct{}{}
+			visit(k)
+		}
+	})
+}
+
+// Count returns the number of matching associations.
+func (m *Matcher) Count(query []string) (int, error) {
+	n := 0
+	err := m.Match(query, func(Key) { n++ })
+	return n, err
+}

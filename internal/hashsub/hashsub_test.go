@@ -1,0 +1,230 @@
+package hashsub
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func randomTagSets(n, maxTags, vocab int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]string, n)
+	for i := range out {
+		k := 1 + rng.Intn(maxTags)
+		out[i] = make([]string, k)
+		for j := range out[i] {
+			out[i][j] = fmt.Sprintf("t%d", rng.Intn(vocab))
+		}
+	}
+	return out
+}
+
+func build(sets [][]string) *Matcher {
+	m := New()
+	for i, s := range sets {
+		m.Add(s, Key(i))
+	}
+	m.Freeze()
+	return m
+}
+
+func bruteForce(sets [][]string, q []string) []Key {
+	qset := map[string]bool{}
+	for _, t := range q {
+		qset[t] = true
+	}
+	var out []Key
+	for i, s := range sets {
+		ok := true
+		for _, t := range s {
+			if !qset[t] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, Key(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collect(t *testing.T, m *Matcher, q []string) []Key {
+	t.Helper()
+	var out []Key
+	if err := m.Match(q, func(k Key) { out = append(out, k) }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalKeys(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicMatch(t *testing.T) {
+	m := build([][]string{{"a", "b"}, {"a"}, {"c"}})
+	if got := collect(t, m, []string{"a", "b"}); !equalKeys(got, []Key{0, 1}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := collect(t, m, []string{"c"}); !equalKeys(got, []Key{2}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := collect(t, m, []string{"d"}); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	sets := randomTagSets(3000, 4, 40, 101)
+	m := build(sets)
+	queries := randomTagSets(200, 10, 40, 102)
+	for _, q := range queries {
+		if got, want := collect(t, m, q), bruteForce(sets, q); !equalKeys(got, want) {
+			t.Fatalf("query %v: got %d want %d keys", q, len(got), len(want))
+		}
+	}
+}
+
+func TestQueryWidthBound(t *testing.T) {
+	m := build([][]string{{"a"}})
+	wide := make([]string, MaxQueryTags+1)
+	for i := range wide {
+		wide[i] = fmt.Sprintf("w%d", i)
+	}
+	err := m.Match(wide, func(Key) {})
+	var tooWide ErrQueryTooWide
+	if !errors.As(err, &tooWide) {
+		t.Fatalf("err = %v, want ErrQueryTooWide", err)
+	}
+	if tooWide.Tags != MaxQueryTags+1 {
+		t.Fatalf("reported %d tags", tooWide.Tags)
+	}
+	// Duplicates do not count against the bound.
+	dup := make([]string, 2*MaxQueryTags)
+	for i := range dup {
+		dup[i] = fmt.Sprintf("d%d", i%MaxQueryTags)
+	}
+	if err := m.Match(dup, func(Key) {}); err != nil {
+		t.Fatalf("duplicate-heavy query rejected: %v", err)
+	}
+}
+
+func TestEmptyStoredSet(t *testing.T) {
+	m := New()
+	m.Add(nil, 4)
+	m.Freeze()
+	if got := collect(t, m, []string{"anything"}); !equalKeys(got, []Key{4}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := collect(t, m, nil); !equalKeys(got, []Key{4}) {
+		t.Fatalf("empty query: %v", got)
+	}
+}
+
+func TestCanonicalizationOrderAndDuplicates(t *testing.T) {
+	m := New()
+	m.Add([]string{"b", "a", "b"}, 1)
+	m.Freeze()
+	if m.Sets() != 1 {
+		t.Fatalf("Sets = %d", m.Sets())
+	}
+	if got := collect(t, m, []string{"a", "b"}); !equalKeys(got, []Key{1}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEncodingIsPrefixSafe(t *testing.T) {
+	// Tag lists that would collide under naive concatenation must not.
+	m := New()
+	m.Add([]string{"ab"}, 1)
+	m.Add([]string{"a", "b"}, 2)
+	m.Freeze()
+	if got := collect(t, m, []string{"ab"}); !equalKeys(got, []Key{1}) {
+		t.Fatalf(`query {"ab"}: got %v`, got)
+	}
+	if got := collect(t, m, []string{"a", "b"}); !equalKeys(got, []Key{2}) {
+		t.Fatalf(`query {"a","b"}: got %v`, got)
+	}
+	if got := collect(t, m, []string{"a", "b", "ab"}); !equalKeys(got, []Key{1, 2}) {
+		t.Fatalf("combined query: got %v", got)
+	}
+}
+
+func TestMatchUniqueAndCount(t *testing.T) {
+	m := New()
+	m.Add([]string{"a"}, 7)
+	m.Add([]string{"b"}, 7)
+	m.Freeze()
+	var u []Key
+	if err := m.MatchUnique([]string{"a", "b"}, func(k Key) { u = append(u, k) }); err != nil {
+		t.Fatal(err)
+	}
+	if !equalKeys(u, []Key{7}) {
+		t.Fatalf("unique: %v", u)
+	}
+	n, err := m.Count([]string{"a", "b"})
+	if err != nil || n != 2 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	m := New()
+	m.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Add([]string{"x"}, 1)
+}
+
+func TestQueryCostIndependentOfDatabaseSize(t *testing.T) {
+	// The defining property of the subset-enumeration approach: probes
+	// depend only on query width. Compare wall time loosely across a
+	// 100x database growth; allow generous slack for map effects.
+	small := build(randomTagSets(1000, 4, 5000, 103))
+	large := build(randomTagSets(100000, 4, 5000, 104))
+	q := randomTagSets(1, 10, 5000, 105)[0]
+	timeIt := func(m *Matcher) float64 {
+		const reps = 200
+		start := nowNanos()
+		for i := 0; i < reps; i++ {
+			if _, err := m.Count(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(nowNanos()-start) / reps
+	}
+	ts, tl := timeIt(small), timeIt(large)
+	if tl > 20*ts {
+		t.Fatalf("query cost grew %fx over a 100x database: not size-independent", tl/ts)
+	}
+}
+
+func BenchmarkHashsubMatch10Tags(b *testing.B) {
+	m := build(randomTagSets(100000, 4, 3000, 106))
+	q := randomTagSets(1, 10, 3000, 107)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Count(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,142 @@
+// Package httpserver exposes a TagMatch engine over HTTP — the service
+// face of the library, toward the paper's future-work goal of embedding
+// TagMatch in a full messaging system. cmd/tagmatch-server is a thin
+// wrapper around this package.
+//
+// Endpoints (JSON bodies):
+//
+//	POST /add          {"tags": ["a","b"], "key": 42}
+//	POST /remove       {"tags": ["a","b"], "key": 42}
+//	POST /consolidate  {}
+//	POST /match        {"tags": ["a","b","c"]}
+//	POST /match-unique {"tags": ["a","b","c"]}
+//	GET  /stats
+//	GET  /healthz
+package httpserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"tagmatch"
+)
+
+// SetRequest stages an addition or removal.
+type SetRequest struct {
+	Tags []string     `json:"tags"`
+	Key  tagmatch.Key `json:"key"`
+}
+
+// MatchRequest carries a query.
+type MatchRequest struct {
+	Tags []string `json:"tags"`
+}
+
+// MatchResponse carries a query result.
+type MatchResponse struct {
+	Keys    []tagmatch.Key `json:"keys"`
+	Count   int            `json:"count"`
+	Elapsed string         `json:"elapsed"`
+}
+
+// ConsolidateResponse reports the index shape after a rebuild.
+type ConsolidateResponse struct {
+	Sets       int    `json:"sets"`
+	Partitions int    `json:"partitions"`
+	Keys       int    `json:"keys"`
+	Elapsed    string `json:"elapsed"`
+}
+
+// StagedResponse reports the staging backlog after add/remove.
+type StagedResponse struct {
+	Staged int `json:"staged"`
+}
+
+// Handler builds the HTTP handler for an engine. The caller owns the
+// engine's lifecycle.
+func Handler(eng *tagmatch.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
+		var req SetRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		eng.AddSet(req.Tags, req.Key)
+		writeJSON(w, StagedResponse{Staged: eng.PendingOps()})
+	})
+	mux.HandleFunc("POST /remove", func(w http.ResponseWriter, r *http.Request) {
+		var req SetRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		eng.RemoveSet(req.Tags, req.Key)
+		writeJSON(w, StagedResponse{Staged: eng.PendingOps()})
+	})
+	mux.HandleFunc("POST /consolidate", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if err := eng.Consolidate(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		st := eng.Stats()
+		writeJSON(w, ConsolidateResponse{
+			Sets:       st.UniqueSets,
+			Partitions: st.Partitions,
+			Keys:       st.Keys,
+			Elapsed:    time.Since(start).String(),
+		})
+	})
+	mux.HandleFunc("POST /match", matchHandler(eng, false))
+	mux.HandleFunc("POST /match-unique", matchHandler(eng, true))
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eng.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func matchHandler(eng *tagmatch.Engine, unique bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req MatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		start := time.Now()
+		var keys []tagmatch.Key
+		var err error
+		if unique {
+			keys, err = eng.MatchUnique(req.Tags)
+		} else {
+			keys, err = eng.Match(req.Tags)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if keys == nil {
+			keys = []tagmatch.Key{}
+		}
+		writeJSON(w, MatchResponse{Keys: keys, Count: len(keys), Elapsed: time.Since(start).String()})
+	}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpserver: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+package httpserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"tagmatch"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *tagmatch.Engine) {
+	t.Helper()
+	eng, err := tagmatch.New(tagmatch.Config{GPUs: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, eng
+}
+
+func post(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var staged StagedResponse
+	post(t, srv.URL+"/add", SetRequest{Tags: []string{"go", "gpu"}, Key: 1}, &staged)
+	post(t, srv.URL+"/add", SetRequest{Tags: []string{"go"}, Key: 2}, &staged)
+	if staged.Staged != 2 {
+		t.Fatalf("staged = %d", staged.Staged)
+	}
+
+	var cons ConsolidateResponse
+	post(t, srv.URL+"/consolidate", struct{}{}, &cons)
+	if cons.Sets != 2 || cons.Keys != 2 {
+		t.Fatalf("consolidate = %+v", cons)
+	}
+
+	var match MatchResponse
+	post(t, srv.URL+"/match-unique", MatchRequest{Tags: []string{"go", "gpu", "x"}}, &match)
+	keys := match.Keys
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if match.Count != 2 || keys[0] != 1 || keys[1] != 2 {
+		t.Fatalf("match = %+v", match)
+	}
+	if match.Elapsed == "" {
+		t.Fatal("elapsed missing")
+	}
+}
+
+func TestRemoveFlow(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post(t, srv.URL+"/add", SetRequest{Tags: []string{"a"}, Key: 1}, nil)
+	post(t, srv.URL+"/add", SetRequest{Tags: []string{"a"}, Key: 2}, nil)
+	post(t, srv.URL+"/consolidate", struct{}{}, nil)
+	post(t, srv.URL+"/remove", SetRequest{Tags: []string{"a"}, Key: 1}, nil)
+	post(t, srv.URL+"/consolidate", struct{}{}, nil)
+
+	var match MatchResponse
+	post(t, srv.URL+"/match", MatchRequest{Tags: []string{"a", "b"}}, &match)
+	if match.Count != 1 || match.Keys[0] != 2 {
+		t.Fatalf("after removal: %+v", match)
+	}
+}
+
+func TestEmptyResultIsJSONArray(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post(t, srv.URL+"/consolidate", struct{}{}, nil)
+	resp, err := http.Post(srv.URL+"/match", "application/json",
+		bytes.NewReader([]byte(`{"tags":["nothing"]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"keys":[]`)) {
+		t.Fatalf("empty keys should serialize as []: %s", buf.String())
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/match", "application/json",
+		bytes.NewReader([]byte(`{not json`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body → %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(srv.URL + "/match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /match → %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st tagmatch.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz → %d", h.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for i := 0; i < 50; i++ {
+		post(t, srv.URL+"/add", SetRequest{Tags: []string{"common"}, Key: tagmatch.Key(i)}, nil)
+	}
+	post(t, srv.URL+"/consolidate", struct{}{}, nil)
+
+	done := make(chan int, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			var match MatchResponse
+			post(t, srv.URL+"/match", MatchRequest{Tags: []string{"common", "x"}}, &match)
+			done <- match.Count
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if n := <-done; n != 50 {
+			t.Fatalf("concurrent match returned %d keys, want 50", n)
+		}
+	}
+}

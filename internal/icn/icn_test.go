@@ -1,0 +1,191 @@
+package icn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tagmatch/internal/bitvec"
+)
+
+func randomVectors(n, tags int, seed int64) []bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bitvec.Vector, n)
+	for i := range out {
+		for j := 0; j < tags*7; j++ {
+			out[i].Set(rng.Intn(bitvec.W))
+		}
+	}
+	return out
+}
+
+func build(vs []bitvec.Vector) *Matcher {
+	b := NewBuilder()
+	for i, v := range vs {
+		b.Add(v, Key(i))
+	}
+	return b.Build()
+}
+
+func collect(m *Matcher, q bitvec.Vector, unique bool) []Key {
+	var out []Key
+	if unique {
+		m.MatchUnique(q, func(k Key) { out = append(out, k) })
+	} else {
+		m.Match(q, func(k Key) { out = append(out, k) })
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bruteForce(vs []bitvec.Vector, q bitvec.Vector) []Key {
+	var out []Key
+	for i, v := range vs {
+		if v.SubsetOf(q) {
+			out = append(out, Key(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalKeys(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmpty(t *testing.T) {
+	m := NewBuilder().Build()
+	if got := collect(m, bitvec.FromOnes(1), false); len(got) != 0 {
+		t.Fatalf("empty matcher returned %v", got)
+	}
+}
+
+func TestBasicMatch(t *testing.T) {
+	vs := []bitvec.Vector{
+		bitvec.FromOnes(1, 50),
+		bitvec.FromOnes(1, 50, 100),
+		bitvec.FromOnes(2),
+	}
+	m := build(vs)
+	if m.Sets() != 3 || m.Keys() != 3 {
+		t.Fatalf("Sets=%d Keys=%d", m.Sets(), m.Keys())
+	}
+	q := bitvec.FromOnes(1, 50, 100, 150)
+	if got := collect(m, q, false); !equalKeys(got, []Key{0, 1}) {
+		t.Fatalf("got %v, want [0 1]", got)
+	}
+}
+
+func TestDuplicateVectors(t *testing.T) {
+	v := bitvec.FromOnes(4, 99)
+	b := NewBuilder()
+	b.Add(v, 1)
+	b.Add(v, 2)
+	m := b.Build()
+	if m.Sets() != 1 || m.Keys() != 2 {
+		t.Fatalf("Sets=%d Keys=%d", m.Sets(), m.Keys())
+	}
+	if got := collect(m, v, false); !equalKeys(got, []Key{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	vs := randomVectors(5000, 5, 71)
+	m := build(vs)
+	queries := randomVectors(150, 9, 72)
+	for i := 0; i < 100; i++ {
+		queries = append(queries, vs[i*17%len(vs)].Or(queries[i%len(queries)]))
+	}
+	for _, q := range queries {
+		got := collect(m, q, false)
+		want := bruteForce(vs, q)
+		if !equalKeys(got, want) {
+			t.Fatalf("query %s: got %d, want %d", q.Hex(), len(got), len(want))
+		}
+	}
+}
+
+func TestMatchUnique(t *testing.T) {
+	b := NewBuilder()
+	b.Add(bitvec.FromOnes(1), 5)
+	b.Add(bitvec.FromOnes(2), 5)
+	m := b.Build()
+	q := bitvec.FromOnes(1, 2)
+	if got := collect(m, q, false); !equalKeys(got, []Key{5, 5}) {
+		t.Fatalf("match: %v", got)
+	}
+	if got := collect(m, q, true); !equalKeys(got, []Key{5}) {
+		t.Fatalf("match-unique: %v", got)
+	}
+}
+
+func TestBuildPeakExceedsResident(t *testing.T) {
+	m := build(randomVectors(10000, 5, 73))
+	if m.BuildPeakBytes() <= m.MemoryBytes() {
+		t.Fatalf("build peak %d should exceed resident %d — the ICN matcher's defining cost",
+			m.BuildPeakBytes(), m.MemoryBytes())
+	}
+	// The paper could only build 20% of the database: peak should be a
+	// multiple of resident, not a rounding error above it.
+	if m.BuildPeakBytes() < m.MemoryBytes()*2 {
+		t.Fatalf("build peak %d < 2x resident %d", m.BuildPeakBytes(), m.MemoryBytes())
+	}
+}
+
+func TestCount(t *testing.T) {
+	m := build([]bitvec.Vector{bitvec.FromOnes(1), bitvec.FromOnes(1, 2)})
+	if got := m.Count(bitvec.FromOnes(1, 2, 3)); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestQuickEquivalence(t *testing.T) {
+	f := func(raw []bitvec.Vector, q bitvec.Vector) bool {
+		return equalKeys(collect(build(raw), q, false), bruteForce(raw, q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMatch(t *testing.T) {
+	vs := randomVectors(3000, 5, 74)
+	m := build(vs)
+	queries := randomVectors(32, 9, 75)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for _, q := range queries {
+				done <- equalKeys(collect(m, q, false), bruteForce(vs, q))
+			}
+		}()
+	}
+	for i := 0; i < 8*len(queries); i++ {
+		if !<-done {
+			t.Fatal("concurrent mismatch")
+		}
+	}
+}
+
+func BenchmarkICNMatch(b *testing.B) {
+	vs := randomVectors(100000, 5, 76)
+	m := build(vs)
+	queries := randomVectors(1024, 8, 77)
+	for i := range queries {
+		queries[i] = queries[i].Or(vs[i*31%len(vs)])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Count(queries[i&1023])
+	}
+}

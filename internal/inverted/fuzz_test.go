@@ -1,0 +1,92 @@
+package inverted
+
+import (
+	"fmt"
+	"testing"
+
+	"tagmatch/internal/hashsub"
+)
+
+// FuzzMatchersAgree derives a database and a query from fuzz bytes and
+// checks that the inverted-index counting matcher, the hash-table
+// subset matcher, and a brute-force scan all return identical key
+// multisets. Three independent implementations agreeing on arbitrary
+// inputs is strong evidence all three are right.
+func FuzzMatchersAgree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4, 5, 0, 6}, []byte{1, 4, 6})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 0, 0}, []byte{9})
+	f.Fuzz(func(t *testing.T, dbBytes, qBytes []byte) {
+		// Decode: zero bytes separate sets; values mod 16 are tags.
+		var sets [][]string
+		var cur []string
+		for _, b := range dbBytes {
+			if b == 0 {
+				sets = append(sets, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, fmt.Sprintf("t%d", b%16))
+		}
+		sets = append(sets, cur)
+		if len(sets) > 64 {
+			sets = sets[:64]
+		}
+		var query []string
+		for _, b := range qBytes {
+			query = append(query, fmt.Sprintf("t%d", b%16))
+		}
+		if len(query) > 12 {
+			query = query[:12]
+		}
+
+		inv := New()
+		hs := hashsub.New()
+		for i, s := range sets {
+			inv.Add(s, Key(i))
+			hs.Add(s, hashsub.Key(i))
+		}
+		inv.Freeze()
+		hs.Freeze()
+
+		counts := func(visit func(func(uint32))) map[uint32]int {
+			m := map[uint32]int{}
+			visit(func(k uint32) { m[k]++ })
+			return m
+		}
+		got := counts(func(v func(uint32)) { inv.Match(query, v) })
+		got2 := counts(func(v func(uint32)) {
+			if err := hs.Match(query, v); err != nil {
+				t.Fatal(err)
+			}
+		})
+		want := map[uint32]int{}
+		qset := map[string]bool{}
+		for _, tg := range query {
+			qset[tg] = true
+		}
+		for i, s := range sets {
+			ok := true
+			for _, tg := range s {
+				if !qset[tg] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want[uint32(i)]++
+			}
+		}
+
+		for name, m := range map[string]map[uint32]int{"inverted": got, "hashsub": got2} {
+			if len(m) != len(want) {
+				t.Fatalf("%s: %d matched sets, brute force %d (query %v)", name, len(m), len(want), query)
+			}
+			for k, c := range want {
+				if m[k] != c {
+					t.Fatalf("%s: key %d count %d, want %d", name, k, m[k], c)
+				}
+			}
+		}
+	})
+}

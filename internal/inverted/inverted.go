@@ -1,0 +1,207 @@
+// Package inverted implements the counting-based subset matcher built on
+// an inverted index — the second classical solution family the paper
+// describes (§1, §5): "for each element x, an inverted index stores the
+// list list(x) of all sets s_i that contain element x ... subset matching
+// amounts to counting how many times each set appears in all the lists"
+// (Yan & Garcia-Molina, TODS 1994).
+//
+// The index maps each tag to the posting list of set ids containing it.
+// A set with n distinct tags matches a query exactly when it appears in n
+// of the query's posting lists, so matching scans the query tags'
+// posting lists and counts occurrences per set id. Unlike the signature
+// matchers, this operates on the actual tags — it is exact, with no
+// Bloom false positives — at the cost of string hashing per query tag
+// and counter memory proportional to the touched postings.
+//
+// The matcher is immutable after Freeze and safe for concurrent Match
+// calls; each call uses its own counting scratch (from an internal pool)
+// so concurrent queries do not contend.
+package inverted
+
+import (
+	"sort"
+	"sync"
+)
+
+// Key is the application value associated with a stored set.
+type Key = uint32
+
+// setID indexes the deduplicated stored sets.
+type setID = uint32
+
+// Matcher is a counting-based subset matcher over an inverted index.
+type Matcher struct {
+	postings map[string][]setID // tag → sorted list of sets containing it
+	cardinal []uint16           // set id → number of distinct tags
+	keyOff   []uint32           // CSR: set id → keys
+	keys     []Key
+	emptyIDs []setID // sets with zero tags match every query
+
+	bySet  map[string]setID // canonical tag-set encoding → id (build only)
+	tagSeq [][]string       // set id → its distinct tags (build only)
+	keysBy [][]Key          // set id → keys (build only)
+	frozen bool
+
+	scratch sync.Pool // *counterSet
+}
+
+// counterSet is a sparse counting scratch: counts addressed by set id
+// with a touched-list for O(touched) reset.
+type counterSet struct {
+	counts  []uint16
+	touched []setID
+}
+
+// New returns an empty matcher.
+func New() *Matcher {
+	m := &Matcher{
+		postings: make(map[string][]setID),
+		bySet:    make(map[string]setID),
+	}
+	m.scratch.New = func() any { return &counterSet{} }
+	return m
+}
+
+// canonical returns a canonical string encoding of a deduplicated,
+// sorted tag list.
+func canonical(tags []string) ([]string, string) {
+	d := make([]string, 0, len(tags))
+	seen := make(map[string]struct{}, len(tags))
+	for _, t := range tags {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			d = append(d, t)
+		}
+	}
+	sort.Strings(d)
+	var enc []byte
+	for _, t := range d {
+		enc = append(enc, byte(len(t)>>8), byte(len(t)))
+		enc = append(enc, t...)
+	}
+	return d, string(enc)
+}
+
+// Add associates a key with a tag set. Duplicate tag sets accumulate
+// keys. Panics after Freeze.
+func (m *Matcher) Add(tags []string, key Key) {
+	if m.frozen {
+		panic("inverted: Add after Freeze")
+	}
+	distinct, enc := canonical(tags)
+	id, ok := m.bySet[enc]
+	if !ok {
+		id = setID(len(m.tagSeq))
+		m.bySet[enc] = id
+		m.tagSeq = append(m.tagSeq, distinct)
+		m.keysBy = append(m.keysBy, nil)
+	}
+	m.keysBy[id] = append(m.keysBy[id], key)
+}
+
+// Freeze builds the final posting lists and releases build-time state.
+// It must be called before Match.
+func (m *Matcher) Freeze() {
+	if m.frozen {
+		return
+	}
+	m.frozen = true
+	m.cardinal = make([]uint16, len(m.tagSeq))
+	m.keyOff = make([]uint32, 1, len(m.tagSeq)+1)
+	for id, tags := range m.tagSeq {
+		if len(tags) > 65535 {
+			panic("inverted: tag set too large")
+		}
+		m.cardinal[id] = uint16(len(tags))
+		if len(tags) == 0 {
+			m.emptyIDs = append(m.emptyIDs, setID(id))
+		}
+		for _, t := range tags {
+			m.postings[t] = append(m.postings[t], setID(id))
+		}
+		m.keys = append(m.keys, m.keysBy[id]...)
+		m.keyOff = append(m.keyOff, uint32(len(m.keys)))
+	}
+	m.bySet = nil
+	m.tagSeq = nil
+	m.keysBy = nil
+}
+
+// Sets returns the number of distinct stored tag sets.
+func (m *Matcher) Sets() int { return len(m.cardinal) }
+
+// Keys returns the number of stored associations.
+func (m *Matcher) Keys() int { return len(m.keys) }
+
+// MemoryBytes estimates the index's resident size.
+func (m *Matcher) MemoryBytes() int64 {
+	var n int64
+	for t, p := range m.postings {
+		n += int64(len(t)) + 16 + int64(len(p))*4
+	}
+	return n + int64(len(m.cardinal))*2 + int64(len(m.keys))*4 + int64(len(m.keyOff))*4
+}
+
+// Match visits the keys of every stored set contained in the query tags,
+// once per association. Matching is exact (no false positives).
+func (m *Matcher) Match(query []string, visit func(Key)) {
+	if !m.frozen {
+		panic("inverted: Match before Freeze")
+	}
+	cs := m.scratch.Get().(*counterSet)
+	defer m.scratch.Put(cs)
+	if len(cs.counts) < len(m.cardinal) {
+		cs.counts = make([]uint16, len(m.cardinal))
+	}
+
+	// Count each set's occurrences across the query tags' posting lists.
+	// Duplicate query tags must not double-count.
+	seen := make(map[string]struct{}, len(query))
+	for _, t := range query {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		for _, id := range m.postings[t] {
+			if cs.counts[id] == 0 {
+				cs.touched = append(cs.touched, id)
+			}
+			cs.counts[id]++
+		}
+	}
+
+	for _, id := range cs.touched {
+		if cs.counts[id] == m.cardinal[id] {
+			for _, k := range m.keys[m.keyOff[id]:m.keyOff[id+1]] {
+				visit(k)
+			}
+		}
+		cs.counts[id] = 0
+	}
+	cs.touched = cs.touched[:0]
+
+	// Empty stored sets are subsets of every query.
+	for _, id := range m.emptyIDs {
+		for _, k := range m.keys[m.keyOff[id]:m.keyOff[id+1]] {
+			visit(k)
+		}
+	}
+}
+
+// MatchUnique visits each distinct matching key once.
+func (m *Matcher) MatchUnique(query []string, visit func(Key)) {
+	dedup := make(map[Key]struct{})
+	m.Match(query, func(k Key) {
+		if _, dup := dedup[k]; !dup {
+			dedup[k] = struct{}{}
+			visit(k)
+		}
+	})
+}
+
+// Count returns the number of matching associations.
+func (m *Matcher) Count(query []string) int {
+	n := 0
+	m.Match(query, func(Key) { n++ })
+	return n
+}

@@ -1,0 +1,258 @@
+package inverted
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func randomTagSets(n, maxTags, vocab int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]string, n)
+	for i := range out {
+		k := 1 + rng.Intn(maxTags)
+		out[i] = make([]string, k)
+		for j := range out[i] {
+			out[i][j] = fmt.Sprintf("t%d", rng.Intn(vocab))
+		}
+	}
+	return out
+}
+
+func build(sets [][]string) *Matcher {
+	m := New()
+	for i, s := range sets {
+		m.Add(s, Key(i))
+	}
+	m.Freeze()
+	return m
+}
+
+func bruteForce(sets [][]string, q []string) []Key {
+	qset := map[string]bool{}
+	for _, t := range q {
+		qset[t] = true
+	}
+	var out []Key
+	for i, s := range sets {
+		ok := true
+		for _, t := range s {
+			if !qset[t] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, Key(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collect(m *Matcher, q []string, unique bool) []Key {
+	var out []Key
+	if unique {
+		m.MatchUnique(q, func(k Key) { out = append(out, k) })
+	} else {
+		m.Match(q, func(k Key) { out = append(out, k) })
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalKeys(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicMatch(t *testing.T) {
+	sets := [][]string{
+		{"a", "b"},
+		{"a"},
+		{"c"},
+		{"a", "b", "c"},
+	}
+	m := build(sets)
+	if got := collect(m, []string{"a", "b"}, false); !equalKeys(got, []Key{0, 1}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := collect(m, []string{"a", "b", "c", "d"}, false); !equalKeys(got, []Key{0, 1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := collect(m, []string{"z"}, false); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExactNoFalsePositives(t *testing.T) {
+	// Unlike the Bloom matchers, counting on actual tags is exact even
+	// over tiny shared vocabularies.
+	sets := randomTagSets(5000, 4, 50, 91)
+	m := build(sets)
+	queries := randomTagSets(100, 12, 50, 92)
+	for _, q := range queries {
+		if got, want := collect(m, q, false), bruteForce(sets, q); !equalKeys(got, want) {
+			t.Fatalf("got %d keys, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestDuplicateQueryTagsDoNotDoubleCount(t *testing.T) {
+	m := build([][]string{{"a", "b"}})
+	// "a" twice must not make the counter reach cardinality 2.
+	if got := collect(m, []string{"a", "a"}, false); len(got) != 0 {
+		t.Fatalf("duplicate query tags double-counted: %v", got)
+	}
+	if got := collect(m, []string{"a", "a", "b"}, false); !equalKeys(got, []Key{0}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDuplicateStoredTags(t *testing.T) {
+	m := New()
+	m.Add([]string{"x", "x", "y"}, 5)
+	m.Freeze()
+	if got := collect(m, []string{"x", "y"}, false); !equalKeys(got, []Key{5}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmptyStoredSetMatchesAll(t *testing.T) {
+	m := New()
+	m.Add(nil, 9)
+	m.Add([]string{"a"}, 10)
+	m.Freeze()
+	if got := collect(m, []string{"zzz"}, false); !equalKeys(got, []Key{9}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := collect(m, nil, false); !equalKeys(got, []Key{9}) {
+		t.Fatalf("empty query: %v", got)
+	}
+}
+
+func TestDuplicateSetsAccumulateKeys(t *testing.T) {
+	m := New()
+	m.Add([]string{"b", "a"}, 1)
+	m.Add([]string{"a", "b"}, 2) // same canonical set
+	m.Freeze()
+	if m.Sets() != 1 || m.Keys() != 2 {
+		t.Fatalf("Sets=%d Keys=%d", m.Sets(), m.Keys())
+	}
+	if got := collect(m, []string{"a", "b"}, false); !equalKeys(got, []Key{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMatchUnique(t *testing.T) {
+	m := New()
+	m.Add([]string{"a"}, 7)
+	m.Add([]string{"b"}, 7)
+	m.Freeze()
+	if got := collect(m, []string{"a", "b"}, false); !equalKeys(got, []Key{7, 7}) {
+		t.Fatalf("match: %v", got)
+	}
+	if got := collect(m, []string{"a", "b"}, true); !equalKeys(got, []Key{7}) {
+		t.Fatalf("unique: %v", got)
+	}
+}
+
+func TestLifecyclePanics(t *testing.T) {
+	m := New()
+	m.Add([]string{"a"}, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Match before Freeze should panic")
+			}
+		}()
+		m.Match([]string{"a"}, func(Key) {})
+	}()
+	m.Freeze()
+	m.Freeze() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after Freeze should panic")
+		}
+	}()
+	m.Add([]string{"b"}, 2)
+}
+
+func TestConcurrentMatch(t *testing.T) {
+	sets := randomTagSets(3000, 4, 80, 93)
+	m := build(sets)
+	queries := randomTagSets(50, 10, 80, 94)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				if !equalKeys(collect(m, q, false), bruteForce(sets, q)) {
+					errs <- "mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := build(randomTagSets(1000, 4, 100, 95))
+	if m.MemoryBytes() <= 0 {
+		t.Fatal("memory not accounted")
+	}
+}
+
+func TestCount(t *testing.T) {
+	m := build([][]string{{"a"}, {"a", "b"}})
+	if got := m.Count([]string{"a", "b", "c"}); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+// Property: equivalence with brute force for arbitrary small inputs.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(rawSets [][]byte, rawQ []byte) bool {
+		sets := make([][]string, len(rawSets))
+		for i, rs := range rawSets {
+			for _, b := range rs {
+				sets[i] = append(sets[i], fmt.Sprintf("t%d", b%16))
+			}
+		}
+		var q []string
+		for _, b := range rawQ {
+			q = append(q, fmt.Sprintf("t%d", b%16))
+		}
+		return equalKeys(collect(build(sets), q, false), bruteForce(sets, q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInvertedMatch(b *testing.B) {
+	sets := randomTagSets(100000, 5, 3000, 96)
+	m := build(sets)
+	queries := randomTagSets(256, 9, 3000, 97)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Count(queries[i&255])
+	}
+}

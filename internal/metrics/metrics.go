@@ -1,0 +1,167 @@
+// Package metrics provides the measurement utilities used by the
+// benchmark harness: throughput meters, exact latency distributions with
+// percentile queries (Fig 6 reports median, 99th percentile and maximum
+// end-to-end latency), and byte-size formatting for the memory figures.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter counts events against a wall-clock window and reports rates.
+type Meter struct {
+	start time.Time
+	count atomic.Int64
+}
+
+// NewMeter starts a meter at the current time.
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// Add records n events.
+func (m *Meter) Add(n int64) { m.count.Add(n) }
+
+// Count returns the number of recorded events.
+func (m *Meter) Count() int64 { return m.count.Load() }
+
+// Rate returns events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / el
+}
+
+// RateOver returns events per second over an explicit duration, for
+// harnesses that time a phase precisely.
+func (m *Meter) RateOver(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / d.Seconds()
+}
+
+// Latencies collects an exact latency distribution. It is safe for
+// concurrent Observe calls; percentile queries snapshot and sort.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencies returns an empty distribution.
+func NewLatencies() *Latencies {
+	return &Latencies{}
+}
+
+// Observe records one sample.
+func (l *Latencies) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// snapshotSorted returns a sorted copy of the samples.
+func (l *Latencies) snapshotSorted() []time.Duration {
+	l.mu.Lock()
+	out := make([]time.Duration, len(l.samples))
+	copy(out, l.samples)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) by nearest-rank, or 0
+// with no samples.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	s := l.snapshotSorted()
+	if len(s) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(p*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (l *Latencies) Max() time.Duration {
+	s := l.snapshotSorted()
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
+}
+
+// Summary is a compact latency digest.
+type Summary struct {
+	Count            int
+	Median, P99, Max time.Duration
+}
+
+// Summarize computes the digest Fig 6 reports per timeout setting.
+func (l *Latencies) Summarize() Summary {
+	s := l.snapshotSorted()
+	if len(s) == 0 {
+		return Summary{}
+	}
+	idx := func(p float64) time.Duration {
+		r := int(p*float64(len(s))+0.5) - 1
+		if r < 0 {
+			r = 0
+		}
+		if r >= len(s) {
+			r = len(s) - 1
+		}
+		return s[r]
+	}
+	return Summary{Count: len(s), Median: idx(0.5), P99: idx(0.99), Max: s[len(s)-1]}
+}
+
+// FmtBytes renders a byte count with a binary unit, e.g. "1.5 GiB".
+func FmtBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// FmtRate renders a per-second rate compactly, e.g. "268.8K/s".
+func FmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fK/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.1f/s", r)
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(10)
+	m.Add(5)
+	if m.Count() != 15 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if got := m.RateOver(3 * time.Second); got != 5 {
+		t.Fatalf("RateOver = %v", got)
+	}
+	if m.RateOver(0) != 0 {
+		t.Fatal("zero duration should give zero rate")
+	}
+	if m.Rate() <= 0 {
+		t.Fatal("Rate should be positive after events")
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	l := NewLatencies()
+	if l.Percentile(0.5) != 0 || l.Max() != 0 || l.Count() != 0 {
+		t.Fatal("empty distribution should report zeros")
+	}
+	if s := l.Summarize(); s.Count != 0 {
+		t.Fatalf("summary of empty = %+v", s)
+	}
+}
+
+func TestLatenciesPercentiles(t *testing.T) {
+	l := NewLatencies()
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := l.Percentile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("P99 = %v", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := l.Percentile(0); got != time.Millisecond {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := l.Percentile(1); got != 100*time.Millisecond {
+		t.Fatalf("P100 = %v", got)
+	}
+	s := l.Summarize()
+	if s.Count != 100 || s.Median != 50*time.Millisecond || s.P99 != 99*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestLatenciesConcurrent(t *testing.T) {
+	l := NewLatencies()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:           "512 B",
+		2048:          "2.0 KiB",
+		3 << 20:       "3.0 MiB",
+		(3 << 30) / 2: "1.5 GiB",
+		5 << 40:       "5.0 TiB",
+	}
+	for in, want := range cases {
+		if got := FmtBytes(in); got != want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtRate(t *testing.T) {
+	if got := FmtRate(268800); got != "268.8K/s" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FmtRate(2.5e6); got != "2.50M/s" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FmtRate(42); got != "42.0/s" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package minidb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cluster is a sharded deployment: n independent server instances with
+// documents distributed round-robin, and scatter-gather query routing —
+// the setup of Fig 11 (all instances on one machine, query sent to every
+// shard, results merged).
+type Cluster struct {
+	servers []*Server
+	clients []*Client
+	next    int
+	mu      sync.Mutex
+}
+
+// NewCluster starts n server instances on ephemeral localhost ports and
+// connects a client to each.
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("minidb: cluster needs at least 1 instance")
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		srv, err := NewServer("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.servers = append(c.servers, srv)
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Size returns the number of instances.
+func (c *Cluster) Size() int { return len(c.servers) }
+
+// Insert routes one document to the next shard round-robin.
+func (c *Cluster) Insert(key uint32, tags []string) error {
+	c.mu.Lock()
+	cl := c.clients[c.next%len(c.clients)]
+	c.next++
+	c.mu.Unlock()
+	return cl.Insert(key, tags)
+}
+
+// InsertLocal loads a document directly into a shard's store, bypassing
+// the wire — used to populate large benchmark databases quickly without
+// changing query-path behavior.
+func (c *Cluster) InsertLocal(key uint32, tags []string) error {
+	c.mu.Lock()
+	srv := c.servers[c.next%len(c.servers)]
+	c.next++
+	c.mu.Unlock()
+	return srv.Store().Insert(key, tags)
+}
+
+// Query scatter-gathers one subset query across every shard and merges
+// the keys.
+func (c *Cluster) Query(tags []string) ([]uint32, error) {
+	type shardResult struct {
+		keys []uint32
+		err  error
+	}
+	results := make([]shardResult, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			keys, err := cl.Query(tags)
+			results[i] = shardResult{keys, err}
+		}(i, cl)
+	}
+	wg.Wait()
+	var out []uint32
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.keys...)
+	}
+	return out, nil
+}
+
+// Count sums the shard collection sizes.
+func (c *Cluster) Count() (int, error) {
+	total := 0
+	for _, cl := range c.clients {
+		n, err := cl.Count()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Close tears down clients and servers.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+	c.clients, c.servers = nil, nil
+}

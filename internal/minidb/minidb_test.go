@@ -1,0 +1,236 @@
+package minidb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func sortU32(s []uint32) { sort.Slice(s, func(i, j int) bool { return s[i] < s[j] }) }
+
+func TestStoreQuerySubset(t *testing.T) {
+	s := NewStore()
+	mustInsert := func(k uint32, tags ...string) {
+		t.Helper()
+		if err := s.Insert(k, tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInsert(1, "a", "b")
+	mustInsert(2, "a")
+	mustInsert(3, "c")
+	mustInsert(4, "a", "b", "c")
+
+	got, err := s.QuerySubset([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortU32(got)
+	if fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+
+	got, _ = s.QuerySubset([]string{"a", "b", "c", "d"})
+	sortU32(got)
+	if fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+
+	if got, _ := s.QuerySubset([]string{"z"}); len(got) != 0 {
+		t.Fatalf("got %v, want none", got)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not accounted")
+	}
+}
+
+func TestStoreEmptyTagsDocMatchesAll(t *testing.T) {
+	s := NewStore()
+	if err := s.Insert(9, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.QuerySubset([]string{"whatever"})
+	if fmt.Sprint(got) != "[9]" {
+		t.Fatalf("empty tag set should match any query: %v", got)
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Insert(1, []string{"go", "gpu"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(2, []string{"go"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.Count()
+	if err != nil || n != 2 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	keys, err := cl.Query([]string{"go", "gpu", "eurosys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortU32(keys)
+	if fmt.Sprint(keys) != "[1 2]" {
+		t.Fatalf("keys = %v", keys)
+	}
+	keys, _ = cl.Query([]string{"go"})
+	if fmt.Sprint(keys) != "[2]" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				if err := cl.Insert(uint32(g*1000+i), []string{"t", fmt.Sprint(g)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := srv.Store().Len(); n != 400 {
+		t.Fatalf("Len = %d, want 400", n)
+	}
+}
+
+func TestClusterShardingAndScatterGather(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Size() != 4 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	for i := 0; i < 100; i++ {
+		tags := []string{"common"}
+		if i%2 == 0 {
+			tags = append(tags, "even")
+		}
+		if err := c.Insert(uint32(i), tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round-robin sharding: each shard holds 25 documents.
+	total := 0
+	for _, srv := range c.servers {
+		n := srv.Store().Len()
+		if n != 25 {
+			t.Fatalf("shard holds %d docs, want 25", n)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("total %d", total)
+	}
+	keys, err := c.Query([]string{"common", "even"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 100 {
+		t.Fatalf("scatter-gather returned %d keys, want 100", len(keys))
+	}
+	keys, _ = c.Query([]string{"common"})
+	if len(keys) != 50 {
+		t.Fatalf("returned %d keys, want 50 (odd docs only)", len(keys))
+	}
+	n, err := c.Count()
+	if err != nil || n != 100 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestClusterInsertLocal(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.InsertLocal(uint32(i), []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.Query([]string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 10 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("zero-instance cluster should fail")
+	}
+}
+
+func TestClientErrorOnClosedServer(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv.Close()
+	if _, err := cl.Query([]string{"a"}); err == nil {
+		t.Fatal("query against closed server should fail")
+	}
+}
+
+func BenchmarkStoreScan10K(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 10000; i++ {
+		s.Insert(uint32(i), []string{fmt.Sprintf("t%d", i%97), fmt.Sprintf("t%d", i%31), "common"})
+	}
+	q := []string{"common", "t1", "t2", "t3"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QuerySubset(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package minidb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Wire protocol: newline-delimited JSON requests and responses over TCP,
+// one request in flight per connection (the paper used the MongoDB Java
+// API over a localhost TCP socket the same way).
+type request struct {
+	Op   string   `json:"op"` // "insert", "query", "count"
+	Key  uint32   `json:"k,omitempty"`
+	Tags []string `json:"t,omitempty"`
+}
+
+type response struct {
+	OK    bool     `json:"ok"`
+	Err   string   `json:"err,omitempty"`
+	Keys  []uint32 `json:"keys,omitempty"`
+	Count int      `json:"n,omitempty"`
+}
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" for an ephemeral
+// port) with a fresh store.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: listen: %w", err)
+	}
+	s := &Server{store: NewStore(), ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Store returns the underlying collection (for tests and direct loads).
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops accepting, closes live connections and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken pipe: drop the connection
+		}
+		var resp response
+		switch req.Op {
+		case "insert":
+			if err := s.store.Insert(req.Key, req.Tags); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.OK = true
+			}
+		case "query":
+			keys, err := s.store.QuerySubset(req.Tags)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.OK = true
+				resp.Keys = keys
+			}
+		case "count":
+			resp.OK = true
+			resp.Count = s.store.Len()
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a blocking single-connection client.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("minidb: dial %s: %w", addr, err)
+	}
+	w := bufio.NewWriterSize(conn, 64<<10)
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(w),
+		dec:  json.NewDecoder(bufio.NewReaderSize(conn, 64<<10)),
+		w:    w,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return response{}, fmt.Errorf("minidb: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return response{}, fmt.Errorf("minidb: flush: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return response{}, fmt.Errorf("minidb: server closed connection")
+		}
+		return response{}, fmt.Errorf("minidb: receive: %w", err)
+	}
+	if !resp.OK {
+		return response{}, fmt.Errorf("minidb: server error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Insert stores one document.
+func (c *Client) Insert(key uint32, tags []string) error {
+	_, err := c.roundTrip(request{Op: "insert", Key: key, Tags: tags})
+	return err
+}
+
+// Query returns the keys of all documents whose tags are a subset of the
+// query tags.
+func (c *Client) Query(tags []string) ([]uint32, error) {
+	resp, err := c.roundTrip(request{Op: "query", Tags: tags})
+	return resp.Keys, err
+}
+
+// Count returns the collection size.
+func (c *Client) Count() (int, error) {
+	resp, err := c.roundTrip(request{Op: "count"})
+	return resp.Count, err
+}

@@ -1,0 +1,108 @@
+// Package minidb is a small general-purpose document store standing in
+// for MongoDB in the paper's comparison (§4.4).
+//
+// The original evaluation ran MongoDB 3.2.10 on a RAM disk with an index
+// on the tag array and queried it with the subset operator through a TCP
+// client. Its defining performance traits, which Figs 10 and 11 report
+// and this package reproduces mechanistically, are:
+//
+//   - subset-containment queries cannot use the tag index (an inverted
+//     index accelerates membership, not containment), so every query is
+//     a full collection scan;
+//   - each scanned document is decoded from its serialized (BSON-like,
+//     here JSON) form, making the scan cost per document large and the
+//     throughput insensitive to the number of tags per set or per query;
+//   - queries arrive over a TCP connection, adding a per-query round
+//     trip;
+//   - sharding distributes the collection over instances and
+//     scatter-gathers each query, scaling until coordination and the
+//     per-instance fixed costs dominate.
+//
+// The store is deliberately honest — it really parses every document on
+// every scan — because the comparison is about architecture, not about
+// a crippled competitor.
+package minidb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Document is one stored entry: an application key and its tag set.
+type Document struct {
+	Key  uint32   `json:"k"`
+	Tags []string `json:"t"`
+}
+
+// Store is an in-memory collection of serialized documents.
+type Store struct {
+	mu   sync.RWMutex
+	docs [][]byte
+}
+
+// NewStore returns an empty collection.
+func NewStore() *Store {
+	return &Store{}
+}
+
+// Insert appends one document.
+func (s *Store) Insert(key uint32, tags []string) error {
+	raw, err := json.Marshal(Document{Key: key, Tags: tags})
+	if err != nil {
+		return fmt.Errorf("minidb: encoding document: %w", err)
+	}
+	s.mu.Lock()
+	s.docs = append(s.docs, raw)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// QuerySubset returns the keys of every document whose tag set is a
+// subset of the query tags — a full collection scan with per-document
+// decode, the execution plan a document store is left with for
+// containment predicates.
+func (s *Store) QuerySubset(queryTags []string) ([]uint32, error) {
+	qset := make(map[string]struct{}, len(queryTags))
+	for _, t := range queryTags {
+		qset[t] = struct{}{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []uint32
+	for _, raw := range s.docs {
+		var doc Document
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("minidb: corrupt document: %w", err)
+		}
+		match := true
+		for _, t := range doc.Tags {
+			if _, ok := qset[t]; !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, doc.Key)
+		}
+	}
+	return out, nil
+}
+
+// MemoryBytes estimates the collection's resident size.
+func (s *Store) MemoryBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, d := range s.docs {
+		n += int64(len(d)) + 24
+	}
+	return n
+}

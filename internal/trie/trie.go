@@ -1,0 +1,163 @@
+// Package trie implements the CPU-only baseline of the paper's
+// evaluation: a Patricia (path-compressed binary) trie over 192-bit
+// Bloom-filter signatures that answers subset-match queries by pruned
+// depth-first traversal.
+//
+// This is the paper's "prefix tree" subject (§4.1): a main-memory matcher
+// representative of state-of-the-art trie-based subset-matching
+// algorithms (Rivest's prefix tree, PTSJ of Luo et al.). A stored vector
+// v matches a query q when v ⊆ q; the trie prunes a whole subtree as soon
+// as the subtree's common prefix contains a one-bit absent from q.
+//
+// The matcher is immutable-after-Build and safe for concurrent Match
+// calls from any number of goroutines.
+package trie
+
+import (
+	"tagmatch/internal/bitvec"
+)
+
+// Key is the application value associated with a stored set.
+type Key = uint32
+
+// node is a Patricia trie node. Internal nodes (pos < bitvec.W) hold the
+// common prefix of their subtree (bits >= pos cleared) and branch on bit
+// pos; leaves (pos == bitvec.W) hold a complete stored vector and its
+// keys.
+type node struct {
+	prefix bitvec.Vector
+	pos    int
+	child  [2]*node
+	keys   []Key
+}
+
+// Matcher is a subset matcher backed by a Patricia trie.
+type Matcher struct {
+	root   *node
+	sets   int
+	keys   int
+	nodes  int
+	frozen bool
+}
+
+// New returns an empty matcher.
+func New() *Matcher {
+	return &Matcher{}
+}
+
+// Add inserts one (vector, key) association. Add must not be called
+// concurrently with Match; call Freeze after the last Add.
+func (m *Matcher) Add(v bitvec.Vector, key Key) {
+	if m.frozen {
+		panic("trie: Add after Freeze")
+	}
+	m.keys++
+	if m.root == nil {
+		m.root = &node{prefix: v, pos: bitvec.W, keys: []Key{key}}
+		m.sets++
+		m.nodes++
+		return
+	}
+	cur := &m.root
+	for {
+		n := *cur
+		d := bitvec.CommonPrefixLen(v, n.prefix)
+		if d < n.pos {
+			// v diverges inside this node's compressed path: split.
+			leaf := &node{prefix: v, pos: bitvec.W, keys: []Key{key}}
+			branch := &node{prefix: v.Prefix(d), pos: d}
+			if v.Test(d) {
+				branch.child[1], branch.child[0] = leaf, n
+			} else {
+				branch.child[0], branch.child[1] = leaf, n
+			}
+			*cur = branch
+			m.sets++
+			m.nodes += 2
+			return
+		}
+		if n.pos == bitvec.W {
+			// Exact duplicate vector: extend the key list.
+			n.keys = append(n.keys, key)
+			return
+		}
+		cur = &n.child[boolToInt(v.Test(n.pos))]
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Freeze marks the matcher read-only. Freeze is optional but catches
+// accidental concurrent mutation in tests.
+func (m *Matcher) Freeze() { m.frozen = true }
+
+// Sets returns the number of distinct stored vectors.
+func (m *Matcher) Sets() int { return m.sets }
+
+// Keys returns the number of stored (vector, key) associations.
+func (m *Matcher) Keys() int { return m.keys }
+
+// MemoryBytes estimates the matcher's resident size: node structures plus
+// key payloads.
+func (m *Matcher) MemoryBytes() int64 {
+	const nodeBytes = 24 + 8 + 16 + 24 // prefix + pos + children + keys header
+	return int64(m.nodes)*nodeBytes + int64(m.keys)*4
+}
+
+// Match visits the keys of every stored vector v with v ⊆ q, once per
+// (vector, key) association (the multiset semantics of match).
+func (m *Matcher) Match(q bitvec.Vector, visit func(Key)) {
+	if m.root == nil {
+		return
+	}
+	// Explicit stack: deep recursion over 192 levels is cheap, but an
+	// iterative walk keeps the hot loop allocation-free.
+	var stack [bitvec.W + 1]*node
+	top := 0
+	stack[top] = m.root
+	top++
+	for top > 0 {
+		top--
+		n := stack[top]
+		if !n.prefix.SubsetOf(q) {
+			continue // prune: whole subtree shares a bit missing from q
+		}
+		if n.pos == bitvec.W {
+			for _, k := range n.keys {
+				visit(k)
+			}
+			continue
+		}
+		// The zero-branch never requires a bit from q.
+		stack[top] = n.child[0]
+		top++
+		if q.Test(n.pos) {
+			stack[top] = n.child[1]
+			top++
+		}
+	}
+}
+
+// MatchUnique returns the deduplicated keys of all matching vectors.
+func (m *Matcher) MatchUnique(q bitvec.Vector, visit func(Key)) {
+	seen := make(map[Key]struct{})
+	m.Match(q, func(k Key) {
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			visit(k)
+		}
+	})
+}
+
+// Count returns the number of matching (vector, key) associations; a
+// convenience for benchmarks that only need the match cardinality.
+func (m *Matcher) Count(q bitvec.Vector) int {
+	n := 0
+	m.Match(q, func(Key) { n++ })
+	return n
+}

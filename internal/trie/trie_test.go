@@ -1,0 +1,291 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/bloom"
+)
+
+func randomVectors(n, tags int, seed int64) []bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bitvec.Vector, n)
+	for i := range out {
+		for j := 0; j < tags*7; j++ {
+			out[i].Set(rng.Intn(bitvec.W))
+		}
+	}
+	return out
+}
+
+func collect(m *Matcher, q bitvec.Vector, unique bool) []Key {
+	var out []Key
+	if unique {
+		m.MatchUnique(q, func(k Key) { out = append(out, k) })
+	} else {
+		m.Match(q, func(k Key) { out = append(out, k) })
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bruteForce(vs []bitvec.Vector, q bitvec.Vector, unique bool) []Key {
+	var out []Key
+	seen := map[Key]bool{}
+	for i, v := range vs {
+		if v.SubsetOf(q) {
+			k := Key(i)
+			if unique {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalKeys(a, b []Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyMatcher(t *testing.T) {
+	m := New()
+	if got := collect(m, bitvec.FromOnes(1, 2, 3), false); len(got) != 0 {
+		t.Fatalf("empty matcher returned %v", got)
+	}
+	if m.Sets() != 0 || m.Keys() != 0 {
+		t.Fatal("counters non-zero on empty matcher")
+	}
+}
+
+func TestSingleVector(t *testing.T) {
+	m := New()
+	v := bitvec.FromOnes(5, 70, 150)
+	m.Add(v, 42)
+	m.Freeze()
+	if got := collect(m, v, false); !equalKeys(got, []Key{42}) {
+		t.Fatalf("self-match failed: %v", got)
+	}
+	super := v.Or(bitvec.FromOnes(9))
+	if got := collect(m, super, false); !equalKeys(got, []Key{42}) {
+		t.Fatalf("superset match failed: %v", got)
+	}
+	sub := bitvec.FromOnes(5, 70)
+	if got := collect(m, sub, false); len(got) != 0 {
+		t.Fatalf("subset query should not match: %v", got)
+	}
+}
+
+func TestDuplicateVectorsAccumulateKeys(t *testing.T) {
+	m := New()
+	v := bitvec.FromOnes(1, 2)
+	m.Add(v, 1)
+	m.Add(v, 2)
+	m.Add(v, 3)
+	if m.Sets() != 1 || m.Keys() != 3 {
+		t.Fatalf("Sets=%d Keys=%d", m.Sets(), m.Keys())
+	}
+	if got := collect(m, v, false); !equalKeys(got, []Key{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmptyVectorMatchesEverything(t *testing.T) {
+	m := New()
+	m.Add(bitvec.Vector{}, 9)
+	m.Add(bitvec.FromOnes(3), 10)
+	if got := collect(m, bitvec.FromOnes(100), false); !equalKeys(got, []Key{9}) {
+		t.Fatalf("empty stored vector should match any query: %v", got)
+	}
+	if got := collect(m, bitvec.Vector{}, false); !equalKeys(got, []Key{9}) {
+		t.Fatalf("empty query should match only the empty vector: %v", got)
+	}
+}
+
+func TestMatchAgainstBruteForce(t *testing.T) {
+	vs := randomVectors(5000, 5, 61)
+	m := New()
+	for i, v := range vs {
+		m.Add(v, Key(i))
+	}
+	m.Freeze()
+	queries := randomVectors(200, 9, 62)
+	// Also query supersets of stored vectors to guarantee hits.
+	for i := 0; i < 100; i++ {
+		queries = append(queries, vs[i*13%len(vs)].Or(queries[i]))
+	}
+	for _, q := range queries {
+		got := collect(m, q, false)
+		want := bruteForce(vs, q, false)
+		if !equalKeys(got, want) {
+			t.Fatalf("query %s: got %d keys, want %d", q.Hex(), len(got), len(want))
+		}
+	}
+}
+
+func TestMatchUniqueDedups(t *testing.T) {
+	m := New()
+	m.Add(bitvec.FromOnes(1), 7)
+	m.Add(bitvec.FromOnes(2), 7)
+	m.Add(bitvec.FromOnes(3), 8)
+	q := bitvec.FromOnes(1, 2, 3)
+	if got := collect(m, q, false); !equalKeys(got, []Key{7, 7, 8}) {
+		t.Fatalf("match: %v", got)
+	}
+	if got := collect(m, q, true); !equalKeys(got, []Key{7, 8}) {
+		t.Fatalf("match-unique: %v", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	m := New()
+	m.Add(bitvec.FromOnes(1), 1)
+	m.Add(bitvec.FromOnes(1, 2), 2)
+	m.Add(bitvec.FromOnes(50), 3)
+	if got := m.Count(bitvec.FromOnes(1, 2)); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	m := New()
+	m.Add(bitvec.FromOnes(1), 1)
+	m.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Freeze should panic")
+		}
+	}()
+	m.Add(bitvec.FromOnes(2), 2)
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	m := New()
+	before := m.MemoryBytes()
+	for i, v := range randomVectors(1000, 5, 63) {
+		m.Add(v, Key(i))
+	}
+	if m.MemoryBytes() <= before {
+		t.Fatal("MemoryBytes did not grow")
+	}
+}
+
+func TestWithBloomSignatures(t *testing.T) {
+	// End-to-end through real tag hashing: interests must match their
+	// own tweets plus supersets.
+	m := New()
+	interests := [][]string{
+		{"go", "gpu"},
+		{"rust"},
+		{"go", "gpu", "simd"},
+	}
+	for i, tags := range interests {
+		m.Add(bloom.Signature(tags), Key(i))
+	}
+	q := bloom.Signature([]string{"go", "gpu", "eurosys"})
+	got := collect(m, q, false)
+	if !equalKeys(got, []Key{0}) {
+		t.Fatalf("got %v, want [0]", got)
+	}
+	q2 := bloom.Signature([]string{"go", "gpu", "simd", "x"})
+	if got := collect(m, q2, false); !equalKeys(got, []Key{0, 2}) {
+		t.Fatalf("got %v, want [0 2]", got)
+	}
+}
+
+// Property: trie results always equal brute force on random databases.
+func TestQuickTrieEquivalence(t *testing.T) {
+	f := func(raw []bitvec.Vector, q bitvec.Vector) bool {
+		m := New()
+		for i, v := range raw {
+			m.Add(v, Key(i))
+		}
+		return equalKeys(collect(m, q, false), bruteForce(raw, q, false))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every stored vector matches a query equal to itself and any
+// superset of itself.
+func TestQuickSelfAndSupersetMatch(t *testing.T) {
+	f := func(raw []bitvec.Vector, extra bitvec.Vector) bool {
+		m := New()
+		for i, v := range raw {
+			m.Add(v, Key(i))
+		}
+		for i, v := range raw {
+			found := false
+			m.Match(v.Or(extra), func(k Key) {
+				if k == Key(i) {
+					found = true
+				}
+			})
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMatch(t *testing.T) {
+	vs := randomVectors(2000, 5, 64)
+	m := New()
+	for i, v := range vs {
+		m.Add(v, Key(i))
+	}
+	m.Freeze()
+	queries := randomVectors(64, 9, 65)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for _, q := range queries {
+				got := collect(m, q, false)
+				want := bruteForce(vs, q, false)
+				done <- equalKeys(got, want)
+			}
+		}()
+	}
+	for i := 0; i < 8*len(queries); i++ {
+		if !<-done {
+			t.Fatal("concurrent match mismatch")
+		}
+	}
+}
+
+func BenchmarkTrieMatch(b *testing.B) {
+	vs := randomVectors(100000, 5, 66)
+	m := New()
+	for i, v := range vs {
+		m.Add(v, Key(i))
+	}
+	m.Freeze()
+	queries := randomVectors(1024, 8, 67)
+	for i := range queries {
+		queries[i] = queries[i].Or(vs[i*31%len(vs)])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Count(queries[i&1023])
+	}
+}

@@ -1,0 +1,309 @@
+// Package workload synthesizes the Twitter-like workload of the paper's
+// evaluation (§4.2).
+//
+// The original workload was derived from the TREC 2011 tweet corpus and
+// the Kwak et al. Twitter follower graph — neither redistributable here —
+// so this generator reproduces the statistical properties the paper
+// derives from them:
+//
+//   - a Zipf-skewed hashtag vocabulary (popular tags are reused heavily);
+//   - power-law follower counts (how many publishers a user follows);
+//   - 40% monolingual / 60% bilingual users, first language drawn from
+//     the Twitter language distribution (Hong et al., ICWSM 2011) and
+//     second language from the world second-language distribution, with
+//     tags "translated" by language prefix (cat → fr_cat);
+//   - one interest per followed publisher, built from the hashtags of one
+//     of the publisher's tweets in one of the user's languages;
+//   - the publisher's id added as an extra tag when the publisher is a
+//     frequent writer (top 30% by tweet volume);
+//   - interests averaging about five tags.
+//
+// Queries follow §4.2.2: a database interest plus a configurable number
+// of extra random tags, so every query survives pre-filtering — the
+// conservative construction the paper uses for all throughput numbers.
+//
+// All generation is deterministic given Config.Seed: interests are
+// derived per-user from a hash of (seed, user), so a workload can be
+// regenerated piecemeal without storing it.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Config parameterizes the generator. NewConfig supplies paper-faithful
+// defaults scaled to a target user count.
+type Config struct {
+	Seed       int64
+	Users      int // number of keys (paper: 300M)
+	Publishers int // distinct publishers users can follow
+
+	Vocabulary int     // distinct base hashtags before language prefixing
+	TagZipfS   float64 // Zipf skew of hashtag popularity (>1)
+
+	FollowZipfS float64 // Zipf skew of follows-per-user (>1)
+	MaxFollows  int     // cap on follows per user
+
+	MinTweetTags int // hashtags per tweet: uniform in [Min, Max]
+	MaxTweetTags int
+
+	FrequentWriterShare float64 // publishers whose id becomes a tag (0.30)
+	BilingualShare      float64 // users speaking two languages (0.60)
+
+	// QueryExtraMin/Max: extra tags appended to a database set to form a
+	// query (paper default: 2..4).
+	QueryExtraMin int
+	QueryExtraMax int
+}
+
+// NewConfig returns the paper-faithful configuration for a given scale.
+// users is the number of keys; the remaining knobs scale from it the way
+// the paper's full workload relates to its 300M users.
+func NewConfig(users int, seed int64) Config {
+	pubs := users / 7 // the Kwak graph has ~42M publishers for ~300M users
+	if pubs < 10 {
+		pubs = 10
+	}
+	vocab := users / 30
+	if vocab < 500 {
+		vocab = 500
+	}
+	return Config{
+		Seed:                seed,
+		Users:               users,
+		Publishers:          pubs,
+		Vocabulary:          vocab,
+		TagZipfS:            1.2,
+		FollowZipfS:         1.6,
+		MaxFollows:          64,
+		MinTweetTags:        3,
+		MaxTweetTags:        6,
+		FrequentWriterShare: 0.30,
+		BilingualShare:      0.60,
+		QueryExtraMin:       2,
+		QueryExtraMax:       4,
+	}
+}
+
+// langFreq is one entry of a language distribution.
+type langFreq struct {
+	code string
+	freq float64
+}
+
+// twitterLangs approximates the Twitter language distribution of Hong,
+// Convertino & Chi (ICWSM 2011).
+var twitterLangs = []langFreq{
+	{"en", 0.513}, {"ja", 0.191}, {"pt", 0.096}, {"id", 0.056},
+	{"es", 0.047}, {"nl", 0.014}, {"ko", 0.013}, {"fr", 0.013},
+	{"de", 0.011}, {"ms", 0.009}, {"it", 0.008}, {"tr", 0.007},
+	{"th", 0.005}, {"ru", 0.004}, {"ar", 0.004}, {"zh", 0.009},
+}
+
+// secondLangs approximates the distribution of the world's most common
+// second languages (Ethnologue).
+var secondLangs = []langFreq{
+	{"en", 0.43}, {"hi", 0.12}, {"fr", 0.09}, {"es", 0.07},
+	{"zh", 0.06}, {"ru", 0.05}, {"pt", 0.04}, {"de", 0.04},
+	{"ar", 0.04}, {"ja", 0.03}, {"it", 0.02}, {"id", 0.01},
+}
+
+func pickLang(dist []langFreq, r float64) string {
+	acc := 0.0
+	for _, lf := range dist {
+		acc += lf.freq
+		if r < acc {
+			return lf.code
+		}
+	}
+	return dist[0].code
+}
+
+// Interest is one database entry: a tag set and the user (key) holding it.
+type Interest struct {
+	User uint32
+	Tags []string
+}
+
+// Generator produces interests and queries.
+type Generator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Users <= 0 || cfg.Publishers <= 0 || cfg.Vocabulary <= 0 {
+		return nil, fmt.Errorf("workload: Users, Publishers, Vocabulary must be positive")
+	}
+	if cfg.TagZipfS <= 1 || cfg.FollowZipfS <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponents must be > 1")
+	}
+	if cfg.MinTweetTags < 1 || cfg.MaxTweetTags < cfg.MinTweetTags {
+		return nil, fmt.Errorf("workload: invalid tweet tag bounds [%d,%d]", cfg.MinTweetTags, cfg.MaxTweetTags)
+	}
+	if cfg.MaxFollows < 1 {
+		return nil, fmt.Errorf("workload: MaxFollows must be >= 1")
+	}
+	if cfg.QueryExtraMin < 0 || cfg.QueryExtraMax < cfg.QueryExtraMin {
+		return nil, fmt.Errorf("workload: invalid query extra bounds")
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// userRNG returns the deterministic per-user random stream.
+func (g *Generator) userRNG(user uint32) *rand.Rand {
+	h := fnv.New64a()
+	var b [12]byte
+	putU64(b[:8], uint64(g.cfg.Seed))
+	putU32(b[8:], user)
+	h.Write(b[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// zipfRank draws a Zipf-distributed rank in [0, n).
+func zipfRank(rng *rand.Rand, s float64, n int) int {
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// baseTag returns the rank-th most popular base hashtag.
+func (g *Generator) baseTag(rank int) string {
+	return fmt.Sprintf("t%d", rank)
+}
+
+// translate applies the paper's language prefixing.
+func translate(lang, tag string) string { return lang + "_" + tag }
+
+// languagesOf draws a user's one or two languages.
+func (g *Generator) languagesOf(rng *rand.Rand) []string {
+	first := pickLang(twitterLangs, rng.Float64())
+	if rng.Float64() >= g.cfg.BilingualShare {
+		return []string{first}
+	}
+	second := pickLang(secondLangs, rng.Float64())
+	if second == first {
+		second = pickLang(secondLangs, rng.Float64()) // one retry, then accept
+	}
+	return []string{first, second}
+}
+
+// isFrequentWriter reports whether a publisher is in the top
+// FrequentWriterShare by volume; publishers are numbered by rank, so the
+// check is positional.
+func (g *Generator) isFrequentWriter(pub int) bool {
+	return pub < int(float64(g.cfg.Publishers)*g.cfg.FrequentWriterShare)
+}
+
+// tweetTags synthesizes the hashtags of one tweet of a publisher, in the
+// publisher's own "topic area" (a Zipf draw biased by the publisher id so
+// a publisher's tweets correlate, as real accounts do).
+func (g *Generator) tweetTags(rng *rand.Rand, pub int) []string {
+	n := g.cfg.MinTweetTags
+	if g.cfg.MaxTweetTags > g.cfg.MinTweetTags {
+		n += rng.Intn(g.cfg.MaxTweetTags - g.cfg.MinTweetTags + 1)
+	}
+	tags := make([]string, 0, n+1)
+	seen := map[int]bool{}
+	for len(tags) < n {
+		rank := zipfRank(rng, g.cfg.TagZipfS, g.cfg.Vocabulary)
+		// Bias one third of the draws toward the publisher's topic
+		// neighbourhood to create realistic tag co-occurrence.
+		if rng.Intn(3) == 0 {
+			rank = (rank + pub) % g.cfg.Vocabulary
+		}
+		if seen[rank] {
+			continue
+		}
+		seen[rank] = true
+		tags = append(tags, g.baseTag(rank))
+	}
+	return tags
+}
+
+// InterestsOf deterministically generates all interests of one user:
+// one per followed publisher, translated into one of the user's
+// languages, with the publisher-id tag appended for frequent writers.
+func (g *Generator) InterestsOf(user uint32) []Interest {
+	rng := g.userRNG(user)
+	langs := g.languagesOf(rng)
+	follows := 1 + zipfRank(rng, g.cfg.FollowZipfS, g.cfg.MaxFollows)
+	out := make([]Interest, 0, follows)
+	for f := 0; f < follows; f++ {
+		pub := rng.Intn(g.cfg.Publishers)
+		lang := langs[rng.Intn(len(langs))]
+		base := g.tweetTags(rng, pub)
+		tags := make([]string, 0, len(base)+1)
+		for _, bt := range base {
+			tags = append(tags, translate(lang, bt))
+		}
+		if g.isFrequentWriter(pub) {
+			tags = append(tags, fmt.Sprintf("user:%d", pub))
+		}
+		out = append(out, Interest{User: user, Tags: tags})
+	}
+	return out
+}
+
+// Generate streams the interests of users [0, n) to emit. It returns the
+// total number of interests produced.
+func (g *Generator) Generate(n int, emit func(Interest)) int {
+	if n > g.cfg.Users {
+		n = g.cfg.Users
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		for _, in := range g.InterestsOf(uint32(u)) {
+			emit(in)
+			total++
+		}
+	}
+	return total
+}
+
+// Query builds one query per §4.2.2: the given database tag set plus
+// extra random tags in a random language. extra < 0 draws the count from
+// [QueryExtraMin, QueryExtraMax].
+func (g *Generator) Query(rng *rand.Rand, base []string, extra int) []string {
+	if extra < 0 {
+		extra = g.cfg.QueryExtraMin
+		if g.cfg.QueryExtraMax > g.cfg.QueryExtraMin {
+			extra += rng.Intn(g.cfg.QueryExtraMax - g.cfg.QueryExtraMin + 1)
+		}
+	}
+	out := make([]string, len(base), len(base)+extra)
+	copy(out, base)
+	lang := pickLang(twitterLangs, rng.Float64())
+	for i := 0; i < extra; i++ {
+		rank := zipfRank(rng, g.cfg.TagZipfS, g.cfg.Vocabulary)
+		out = append(out, translate(lang, g.baseTag(rank)))
+	}
+	return out
+}
+
+// QueryStream produces n queries built on a sample of base interests,
+// calling emit with each query's tags. It is the harness used by every
+// throughput experiment.
+func (g *Generator) QueryStream(seed int64, sample []Interest, n, extra int, emit func([]string)) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		base := sample[rng.Intn(len(sample))]
+		emit(g.Query(rng, base.Tags, extra))
+	}
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newGen(t *testing.T, users int) *Generator {
+	t.Helper()
+	g, err := New(NewConfig(users, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Publishers = 0 },
+		func(c *Config) { c.Vocabulary = 0 },
+		func(c *Config) { c.TagZipfS = 1.0 },
+		func(c *Config) { c.FollowZipfS = 0.5 },
+		func(c *Config) { c.MinTweetTags = 0 },
+		func(c *Config) { c.MaxTweetTags = 1 },
+		func(c *Config) { c.MaxFollows = 0 },
+		func(c *Config) { c.QueryExtraMax = 1 },
+	}
+	for i, mut := range bad {
+		cfg := NewConfig(1000, 1)
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := newGen(t, 1000)
+	g2 := newGen(t, 1000)
+	for u := uint32(0); u < 50; u++ {
+		a, b := g1.InterestsOf(u), g2.InterestsOf(u)
+		if len(a) != len(b) {
+			t.Fatalf("user %d: %d vs %d interests", u, len(a), len(b))
+		}
+		for i := range a {
+			if strings.Join(a[i].Tags, ",") != strings.Join(b[i].Tags, ",") {
+				t.Fatalf("user %d interest %d differs", u, i)
+			}
+		}
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	cfg := NewConfig(1000, 1)
+	g1, _ := New(cfg)
+	cfg.Seed = 2
+	g2, _ := New(cfg)
+	same := 0
+	for u := uint32(0); u < 20; u++ {
+		a, b := g1.InterestsOf(u), g2.InterestsOf(u)
+		if len(a) == len(b) && strings.Join(a[0].Tags, ",") == strings.Join(b[0].Tags, ",") {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestInterestShape(t *testing.T) {
+	g := newGen(t, 5000)
+	totalTags, totalInterests := 0, 0
+	withPublisher := 0
+	g.Generate(2000, func(in Interest) {
+		totalInterests++
+		totalTags += len(in.Tags)
+		if len(in.Tags) == 0 {
+			t.Fatal("empty interest")
+		}
+		for _, tag := range in.Tags {
+			if strings.HasPrefix(tag, "user:") {
+				withPublisher++
+				continue
+			}
+			if !strings.Contains(tag, "_") {
+				t.Fatalf("tag %q missing language prefix", tag)
+			}
+		}
+	})
+	if totalInterests < 2000 {
+		t.Fatalf("users must have at least one interest each: %d", totalInterests)
+	}
+	avg := float64(totalTags) / float64(totalInterests)
+	// Paper: interests contain an average of five tags.
+	if avg < 3.5 || avg > 6.5 {
+		t.Fatalf("average tags per interest = %.2f, want ≈ 5", avg)
+	}
+	// Frequent writers are 30% of publishers but, being low-rank ids and
+	// uniformly chosen, roughly 30% of interests should carry an id tag.
+	share := float64(withPublisher) / float64(totalInterests)
+	if share < 0.15 || share > 0.45 {
+		t.Fatalf("publisher-tag share = %.2f, want ≈ 0.30", share)
+	}
+}
+
+func TestFollowDistributionSkewed(t *testing.T) {
+	g := newGen(t, 5000)
+	counts := map[int]int{}
+	maxF := 0
+	for u := uint32(0); u < 3000; u++ {
+		f := len(g.InterestsOf(u))
+		counts[f]++
+		if f > maxF {
+			maxF = f
+		}
+	}
+	// Power law: following exactly one publisher must dominate, and a
+	// heavy tail must exist.
+	if counts[1] < 1000 {
+		t.Fatalf("only %d single-follow users out of 3000; follow counts not skewed", counts[1])
+	}
+	if maxF < 8 {
+		t.Fatalf("max follows = %d; tail missing", maxF)
+	}
+}
+
+func TestLanguageDistribution(t *testing.T) {
+	g := newGen(t, 20000)
+	en, total := 0, 0
+	g.Generate(3000, func(in Interest) {
+		for _, tag := range in.Tags {
+			if strings.HasPrefix(tag, "user:") {
+				continue
+			}
+			total++
+			if strings.HasPrefix(tag, "en_") {
+				en++
+			}
+		}
+	})
+	share := float64(en) / float64(total)
+	// English dominates Twitter (~51% first language) but bilingual
+	// second languages dilute it; expect a broad band around 0.45.
+	if share < 0.25 || share > 0.70 {
+		t.Fatalf("English tag share = %.2f, implausible", share)
+	}
+}
+
+func TestTagPopularitySkewed(t *testing.T) {
+	g := newGen(t, 5000)
+	freq := map[string]int{}
+	total := 0
+	g.Generate(1500, func(in Interest) {
+		for _, tag := range in.Tags {
+			freq[tag]++
+			total++
+		}
+	})
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf: the most popular tag should be far above uniform share.
+	uniform := float64(total) / float64(len(freq))
+	if float64(max) < 5*uniform {
+		t.Fatalf("top tag count %d vs uniform %.1f: no skew", max, uniform)
+	}
+}
+
+func TestQueryConstruction(t *testing.T) {
+	g := newGen(t, 1000)
+	base := []string{"en_t1", "en_t2", "en_t3"}
+	rng := rand.New(rand.NewSource(7))
+	q := g.Query(rng, base, 4)
+	if len(q) != 7 {
+		t.Fatalf("query has %d tags, want 7", len(q))
+	}
+	for i, tag := range base {
+		if q[i] != tag {
+			t.Fatal("query must contain the base set")
+		}
+	}
+	// Default extra range 2..4.
+	for i := 0; i < 50; i++ {
+		q := g.Query(rng, base, -1)
+		extra := len(q) - len(base)
+		if extra < 2 || extra > 4 {
+			t.Fatalf("default extra = %d, want in [2,4]", extra)
+		}
+	}
+}
+
+func TestQueryStream(t *testing.T) {
+	g := newGen(t, 1000)
+	var sample []Interest
+	g.Generate(100, func(in Interest) { sample = append(sample, in) })
+	n := 0
+	g.QueryStream(9, sample, 250, 3, func(tags []string) {
+		n++
+		if len(tags) < 4 {
+			t.Fatalf("query too short: %v", tags)
+		}
+	})
+	if n != 250 {
+		t.Fatalf("emitted %d queries, want 250", n)
+	}
+}
+
+func TestGenerateCapsAtUsers(t *testing.T) {
+	g := newGen(t, 50)
+	users := map[uint32]bool{}
+	g.Generate(1000, func(in Interest) { users[in.User] = true })
+	if len(users) != 50 {
+		t.Fatalf("generated %d users, want 50", len(users))
+	}
+}
+
+func BenchmarkGenerateInterests(b *testing.B) {
+	g, err := New(NewConfig(1000000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InterestsOf(uint32(i % 1000000))
+	}
+}

@@ -1,0 +1,197 @@
+// Package tagmatch is a high-throughput subset-matching engine for
+// hybrid CPU/GPU systems, reproducing Rogora et al., "High-Throughput
+// Subset Matching on Commodity GPU-Based Systems" (EuroSys 2017).
+//
+// An Engine stores a database of tag sets, each associated with an
+// application key, and answers streaming subset queries: Match(q)
+// returns the keys of every stored set s with s ⊆ q. Sets are
+// represented internally as 192-bit Bloom filters with 7 hash functions,
+// partitioned with the paper's balanced partitioning (Algorithm 1), and
+// matched through a four-stage CPU/GPU pipeline (pre-process → subset
+// match → key lookup/reduce → merge) with query batching, flush
+// timeouts, GPU streams, and packed result transfers.
+//
+// Because this reproduction runs without GPU hardware, the subset-match
+// stage executes on simulated GPU devices (package internal/gpu): SPMD
+// kernels over thread blocks with modeled kernel-launch and PCIe-copy
+// costs. Setting Config.GPUs to zero selects the CPU-only pipeline.
+//
+// # Quick start
+//
+//	eng, err := tagmatch.New(tagmatch.Config{GPUs: 2})
+//	if err != nil { ... }
+//	defer eng.Close()
+//
+//	eng.AddSet([]string{"en_go", "en_gpu"}, 1001)   // user 1001's interest
+//	eng.AddSet([]string{"en_go"}, 1002)
+//	if err := eng.Consolidate(); err != nil { ... } // build the index
+//
+//	keys, err := eng.MatchUnique([]string{"en_go", "en_gpu", "en_eurosys"})
+//	// keys == [1001, 1002]
+//
+// For maximal throughput, stream queries with Submit/SubmitUnique and a
+// BatchTimeout instead of the blocking Match calls.
+package tagmatch
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tagmatch/internal/core"
+	"tagmatch/internal/gpu"
+)
+
+// Key is the application value associated with a stored tag set — a user
+// id in the paper's Twitter-like workload.
+type Key = core.Key
+
+// MatchResult carries the outcome of one streamed query.
+type MatchResult = core.MatchResult
+
+// Stats is a snapshot of engine activity and memory usage.
+type Stats = core.Stats
+
+// Config configures an Engine. The zero value is a valid CPU-only
+// configuration with defaults suitable for small databases.
+type Config struct {
+	// GPUs is the number of simulated GPU devices to create. Zero runs
+	// the pipeline CPU-only.
+	GPUs int
+	// GPUWorkers is the number of simulated streaming multiprocessors
+	// per device, i.e. thread blocks executing in parallel. Defaults to 4.
+	GPUWorkers int
+	// GPUMemBytes is the per-device memory budget (default 12 GiB, one
+	// TITAN X as in the paper's testbed).
+	GPUMemBytes int64
+	// RealisticGPUCosts enables the calibrated kernel-launch and
+	// PCIe-copy cost model. Leave false in unit tests, set true in
+	// benchmarks: batching and stream effects only appear with costs.
+	RealisticGPUCosts bool
+
+	// MaxPartitionSize is MAX_P of Algorithm 1 (0 = pick from database
+	// size at Consolidate: dbSize/1000, min 64, the paper's ratio).
+	MaxPartitionSize int
+	// BatchSize is the number of queries per GPU batch (max 256).
+	BatchSize int
+	// BatchTimeout flushes partially filled batches (0 = no timeout; the
+	// blocking Match calls flush explicitly).
+	BatchTimeout time.Duration
+	// Threads is the number of CPU worker threads across pipeline stages.
+	Threads int
+	// StreamsPerGPU is the number of streams per device (default 10).
+	StreamsPerGPU int
+	// Replicate replicates the tagset table on every device (default
+	// true). When explicitly disabled with PartitionAcrossGPUs, each
+	// device holds only its share of the partitions.
+	PartitionAcrossGPUs bool
+	// ExactVerify re-checks every match against the original tag sets
+	// during key lookup, eliminating Bloom-filter false positives at the
+	// cost of storing the tags and one string-set containment check per
+	// candidate key.
+	ExactVerify bool
+}
+
+// Engine is a TagMatch subset-matching engine. See the package
+// documentation for the lifecycle; all methods are safe for concurrent
+// use.
+type Engine struct {
+	core    *core.Engine
+	devices []*gpu.Device
+}
+
+// New creates an engine and its simulated GPU devices.
+func New(cfg Config) (*Engine, error) {
+	if cfg.GPUs < 0 {
+		return nil, fmt.Errorf("tagmatch: negative GPU count")
+	}
+	var devices []*gpu.Device
+	for i := 0; i < cfg.GPUs; i++ {
+		gcfg := gpu.Config{
+			Name:           fmt.Sprintf("sim-gpu-%d", i),
+			Workers:        cfg.GPUWorkers,
+			GlobalMemBytes: cfg.GPUMemBytes,
+		}
+		if cfg.RealisticGPUCosts {
+			gcfg.Cost = gpu.DefaultCost
+		}
+		devices = append(devices, gpu.New(gcfg))
+	}
+	ccfg := core.Config{
+		MaxPartitionSize: cfg.MaxPartitionSize,
+		BatchSize:        cfg.BatchSize,
+		BatchTimeout:     cfg.BatchTimeout,
+		Threads:          cfg.Threads,
+		Devices:          devices,
+		StreamsPerDevice: cfg.StreamsPerGPU,
+		Replicate:        !cfg.PartitionAcrossGPUs,
+		ExactVerify:      cfg.ExactVerify,
+	}
+	eng, err := core.New(ccfg)
+	if err != nil {
+		for _, d := range devices {
+			d.Close()
+		}
+		return nil, err
+	}
+	return &Engine{core: eng, devices: devices}, nil
+}
+
+// AddSet stages the addition of a tag set associated with key. The set
+// becomes matchable after the next Consolidate.
+func (e *Engine) AddSet(tags []string, key Key) { e.core.AddSet(tags, key) }
+
+// RemoveSet stages the removal of one (set, key) association, effective
+// at the next Consolidate.
+func (e *Engine) RemoveSet(tags []string, key Key) { e.core.RemoveSet(tags, key) }
+
+// PendingOps returns the number of staged operations awaiting
+// Consolidate.
+func (e *Engine) PendingOps() int { return e.core.PendingOps() }
+
+// Consolidate applies staged operations and rebuilds the partitioned
+// index offline, uploading the tagset table to the GPUs.
+func (e *Engine) Consolidate() error { return e.core.Consolidate() }
+
+// Match returns the multiset of keys of every stored set that is a
+// subset of the query tags (blocking).
+func (e *Engine) Match(tags []string) ([]Key, error) { return e.core.Match(tags) }
+
+// MatchUnique returns the deduplicated keys of all matching sets
+// (blocking).
+func (e *Engine) MatchUnique(tags []string) ([]Key, error) { return e.core.MatchUnique(tags) }
+
+// Submit enqueues a streaming match; done is called exactly once.
+func (e *Engine) Submit(tags []string, done func(MatchResult)) error {
+	return e.core.Submit(tags, done)
+}
+
+// SubmitUnique enqueues a streaming match-unique.
+func (e *Engine) SubmitUnique(tags []string, done func(MatchResult)) error {
+	return e.core.SubmitUnique(tags, done)
+}
+
+// Drain blocks until every submitted query has completed.
+func (e *Engine) Drain() { e.core.Drain() }
+
+// Stats returns engine counters, database shape and memory usage.
+func (e *Engine) Stats() Stats { return e.core.Stats() }
+
+// SaveSnapshot writes the consolidated database to w in the engine's
+// binary snapshot format. Staged operations must be consolidated first.
+func (e *Engine) SaveSnapshot(w io.Writer) error { return e.core.SaveSnapshot(w) }
+
+// LoadSnapshot stages a previously saved database from r and
+// consolidates. Load into a freshly created engine to restore state, or
+// into a populated one to merge.
+func (e *Engine) LoadSnapshot(r io.Reader) error { return e.core.LoadSnapshot(r) }
+
+// Close drains the pipeline and releases all resources, including the
+// simulated devices.
+func (e *Engine) Close() error {
+	err := e.core.Close()
+	for _, d := range e.devices {
+		d.Close()
+	}
+	return err
+}

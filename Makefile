@@ -1,0 +1,31 @@
+# TagMatch reproduction build targets.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-obs clean
+
+## check: full CI gate — vet, build, tests, race detector on the
+## concurrency-heavy packages.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the engine pipeline and the lock-free observability layer are
+## the packages with real concurrency; -race on the full tree is slow.
+race:
+	$(GO) test -race ./internal/core/ ./internal/obs/
+
+## bench-obs: measure the observability layer's throughput overhead and
+## write BENCH_obs.json (budget <5%).
+bench-obs:
+	$(GO) run ./cmd/tagmatch-bench obs-overhead
+
+clean:
+	rm -f BENCH_obs.json

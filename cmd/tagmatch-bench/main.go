@@ -8,7 +8,9 @@
 //	tagmatch-bench all
 //
 // Experiments: table1, table3, fig2 (with fig3), fig4, fig5, fig6, fig7,
-// fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly.
+// fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly, and
+// obs-overhead (observability-layer cost, also written to
+// BENCH_obs.json).
 //
 // Flags:
 //
@@ -57,7 +59,7 @@ func allNames() []string {
 	return []string{
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
-		"ablation-pipeline", "ablation-gpuonly",
+		"ablation-pipeline", "ablation-gpuonly", "obs-overhead",
 	}
 }
 
@@ -94,6 +96,21 @@ func runOne(name string, p experiments.Params, format string) {
 		tables = append(tables, experiments.AblationPipeline(p))
 	case "ablation-gpuonly":
 		tables = append(tables, experiments.AblationGPUOnly(p))
+	case "obs-overhead":
+		t, r := experiments.ObsOverhead(p)
+		tables = append(tables, t)
+		// The overhead comparison also lands in BENCH_obs.json so CI can
+		// track the instrumentation cost across commits.
+		f, err := os.Create("BENCH_obs.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
 		os.Exit(2)

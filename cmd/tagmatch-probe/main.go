@@ -46,6 +46,22 @@ func main() {
 			st.PreprocessTime.Round(time.Millisecond),
 			st.SubsetMatchTime.Round(time.Millisecond),
 			st.ReduceTime.Round(time.Millisecond))
+		for _, s := range eng.Obs().Stages() {
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-12s n=%-6d p50=%-10v p99=%-10v max=%v\n",
+				s.Stage, s.Count,
+				s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+				s.Max.Round(time.Microsecond))
+		}
+		occ := eng.Obs().BatchOccupancy.Snapshot()
+		fmt.Printf("  batch occupancy: mean=%.1f p50=%d max=%d queries/batch\n",
+			occ.Mean(), occ.Quantile(0.50), occ.Max)
+		for _, ps := range eng.Obs().Parts.Hottest(3) {
+			fmt.Printf("  hot partition %d: routed=%d batches(full/timeout/flush)=%d/%d/%d pairs=%d\n",
+				ps.ID, ps.QueriesRouted, ps.BatchesFull, ps.BatchesTimedOut, ps.BatchesFlushed, ps.Pairs)
+		}
 		for _, d := range devs {
 			gs := d.Stats()
 			fmt.Printf("  %s: launches=%d blocks=%d H2D=%d(%dB) D2H=%d(%dB) atomics=%d mem=%dB\n",

@@ -3,12 +3,14 @@
 // a full-fledged messaging system", the paper's future-work direction).
 //
 // Endpoints (JSON): POST /add, /remove, /consolidate, /match,
-// /match-unique; GET /stats, /healthz. See internal/httpserver for the
-// request/response shapes.
+// /match-unique; GET /stats, /debug/stats, /metrics (Prometheus text
+// format), /healthz. See internal/httpserver for the request/response
+// shapes and the metric catalogue.
 //
 // Usage:
 //
 //	tagmatch-server [-addr :8080] [-gpus 2] [-threads 4] [-exact]
+//	                [-trace 1000] [-stats-log 30s]
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"tagmatch"
 	"tagmatch/internal/httpserver"
+	"tagmatch/internal/obs"
 )
 
 func main() {
@@ -26,6 +29,9 @@ func main() {
 	gpus := flag.Int("gpus", 2, "simulated GPUs")
 	threads := flag.Int("threads", 4, "pipeline CPU threads")
 	exact := flag.Bool("exact", false, "exact-verify matches (no Bloom false positives)")
+	trace := flag.Int("trace", 0, "sample one query in N for full pipeline tracing (0 = off)")
+	statsLog := flag.Duration("stats-log", 30*time.Second,
+		"interval between stats log lines (0 = off)")
 	flag.Parse()
 
 	eng, err := tagmatch.New(tagmatch.Config{
@@ -33,14 +39,19 @@ func main() {
 		Threads:      *threads,
 		BatchTimeout: 50 * time.Millisecond,
 		ExactVerify:  *exact,
+		TraceEvery:   *trace,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
 
-	log.Printf("tagmatch-server listening on %s (%d simulated GPUs, %d threads, exact=%v)",
-		*addr, *gpus, *threads, *exact)
+	if *statsLog > 0 {
+		go logStats(eng, *statsLog)
+	}
+
+	log.Printf("tagmatch-server listening on %s (%d simulated GPUs, %d threads, exact=%v, trace=1/%d)",
+		*addr, *gpus, *threads, *exact, *trace)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           httpserver.Handler(eng),
@@ -48,5 +59,34 @@ func main() {
 	}
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// logStats periodically emits a one-line digest: queries and batches
+// since the previous line, plus stage p50/p99 latencies from the
+// observability layer. Quiet intervals (no new queries) are skipped.
+func logStats(eng *tagmatch.Engine, every time.Duration) {
+	var lastQ, lastB int64
+	for range time.Tick(every) {
+		st := eng.Stats()
+		dq, db := st.QueriesCompleted-lastQ, st.BatchesDispatched-lastB
+		lastQ, lastB = st.QueriesCompleted, st.BatchesDispatched
+		if dq == 0 && db == 0 {
+			continue
+		}
+		var e2e, sm obs.StageSnapshot
+		for _, s := range eng.Obs().Stages() {
+			switch s.Stage {
+			case obs.StageE2E:
+				e2e = s
+			case obs.StageSubsetMatch:
+				sm = s
+			}
+		}
+		log.Printf("stats: %.0f q/s, %d batches, e2e p50=%v p99=%v, subset_match p50=%v p99=%v, pairs=%d overflows=%d",
+			float64(dq)/every.Seconds(), db,
+			e2e.P50.Round(time.Microsecond), e2e.P99.Round(time.Microsecond),
+			sm.P50.Round(time.Microsecond), sm.P99.Round(time.Microsecond),
+			st.PairsProduced, st.ResultOverflows)
 	}
 }

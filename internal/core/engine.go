@@ -10,6 +10,7 @@ import (
 	"tagmatch/internal/bitvec"
 	"tagmatch/internal/bloom"
 	"tagmatch/internal/gpu"
+	"tagmatch/internal/obs"
 )
 
 // Engine is a TagMatch subset-matching engine (Table 2 of the paper):
@@ -45,6 +46,19 @@ type Engine struct {
 
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	// drainCond is broadcast on pipeline progress (a query finishing
+	// pre-processing or completing, a batch leaving the reduce stage) so
+	// drain and close wait event-driven instead of polling. The
+	// broadcast is skipped entirely while drainWaiters is zero.
+	drainMu       sync.Mutex
+	drainCond     *sync.Cond
+	drainWaiters  atomic.Int32
+	progressEpoch atomic.Int64
+
+	// obs is the pipeline-wide observability layer: per-stage latency
+	// histograms, per-partition hot-spot counters, sampled traces.
+	obs *obs.Pipeline
 
 	closed atomic.Bool
 
@@ -115,8 +129,15 @@ func New(cfg Config) (*Engine, error) {
 		db:       make(map[bitvec.Vector][]dbEntry),
 		inputCh:  make(chan *query, 4*cfg.BatchSize),
 		reduceCh: make(chan *batchResult, 64),
+		obs: obs.New(obs.Options{
+			Disabled:   cfg.DisableObservability,
+			TraceEvery: cfg.TraceEvery,
+			TraceKeep:  cfg.TraceKeep,
+		}),
 	}
+	e.drainCond = sync.NewCond(&e.drainMu)
 	e.idx.Store(&index{pt: &partitionTable{}})
+	e.registerGauges()
 
 	preWorkers := cfg.Threads / 2
 	if preWorkers < 1 {
@@ -140,6 +161,70 @@ func New(cfg Config) (*Engine, error) {
 		go e.flusher()
 	}
 	return e, nil
+}
+
+// Obs returns the engine's observability layer. The returned pipeline is
+// live: snapshots taken from it reflect activity up to the moment of the
+// call.
+func (e *Engine) Obs() *obs.Pipeline { return e.obs }
+
+// registerGauges wires the queue-depth and stream-pool gauges the export
+// surfaces (GET /metrics) evaluate at scrape time.
+func (e *Engine) registerGauges() {
+	e.obs.RegisterGauge("tagmatch_queue_depth",
+		"Queued items per pipeline queue.",
+		obs.Labels{{"queue", "input"}}, func() float64 { return float64(len(e.inputCh)) })
+	e.obs.RegisterGauge("tagmatch_queue_depth",
+		"Queued items per pipeline queue.",
+		obs.Labels{{"queue", "reduce"}}, func() float64 { return float64(len(e.reduceCh)) })
+	e.obs.RegisterGauge("tagmatch_inflight_batches",
+		"Batches dispatched to the subset-match stage and not yet reduced.",
+		nil, func() float64 { return float64(e.inflightBatches.Load()) })
+	e.obs.RegisterGauge("tagmatch_staged_ops",
+		"Staged add/remove operations awaiting Consolidate.",
+		nil, func() float64 { return float64(e.PendingOps()) })
+	e.obs.RegisterGauge("tagmatch_streams_idle",
+		"GPU streams currently idle in the acquisition pools.",
+		nil, func() float64 {
+			idx := e.idx.Load()
+			n := len(idx.streams)
+			for _, ch := range idx.devStreams {
+				n += len(ch)
+			}
+			return float64(n)
+		})
+	e.obs.RegisterGauge("tagmatch_stream_ops_pending",
+		"Device operations queued on GPU streams and not yet executed.",
+		nil, func() float64 {
+			n := 0
+			for _, sc := range e.idx.Load().allStreams {
+				n += sc.stream.QueueDepth()
+			}
+			return float64(n)
+		})
+}
+
+// partCounters returns the hot-spot counters for a partition, or nil
+// when observability is disabled (or the index was swapped mid-flight).
+func (e *Engine) partCounters(pid uint32) *obs.PartitionCounters {
+	if !e.obs.On {
+		return nil
+	}
+	return e.obs.Parts.Get(pid)
+}
+
+// notifyProgress advances the progress epoch and wakes drain/close
+// waiters after a pipeline progress event. The atomic waiter check keeps
+// the common no-waiter case to two atomic operations on the completion
+// path.
+func (e *Engine) notifyProgress() {
+	e.progressEpoch.Add(1)
+	if e.drainWaiters.Load() == 0 {
+		return
+	}
+	e.drainMu.Lock()
+	e.drainCond.Broadcast()
+	e.drainMu.Unlock()
 }
 
 // AddSet stages the addition of a tag set with an associated key. In
@@ -242,6 +327,16 @@ func (e *Engine) Consolidate() error {
 		return err
 	}
 	e.idx.Store(idx)
+
+	// Fresh per-partition hot-spot counters for the new generation, so
+	// partition ids in the stats always refer to the live index.
+	if e.obs.On {
+		sizes := make([]int, len(idx.parts))
+		for i := range idx.parts {
+			sizes[i] = int(idx.parts[i].n)
+		}
+		e.obs.Parts.Reset(sizes)
+	}
 
 	e.consolidateTime.Store(int64(time.Since(start)))
 	return nil
@@ -424,11 +519,17 @@ func (e *Engine) Close() error {
 	}
 	close(e.inputCh)
 	e.workerWg.Wait()
-	// Preprocess workers are gone; flush whatever they batched.
+	// Preprocess workers are gone; flush whatever they batched, then
+	// wait (event-driven, woken by each batch leaving the reduce stage)
+	// for the in-flight batches to land.
 	e.flushAll(e.idx.Load())
+	e.drainWaiters.Add(1)
+	e.drainMu.Lock()
 	for e.inflightBatches.Load() > 0 {
-		time.Sleep(200 * time.Microsecond)
+		e.drainCond.Wait()
 	}
+	e.drainMu.Unlock()
+	e.drainWaiters.Add(-1)
 	close(e.reduceCh)
 	e.reduceWg.Wait()
 	e.idx.Load().release()
@@ -442,10 +543,32 @@ func (e *Engine) Drain() {
 	e.awaitDrain()
 }
 
+// awaitDrain blocks until every submitted query has completed. It is
+// event-driven: each progress event (a query finishing pre-processing or
+// completing, a batch leaving reduce) wakes the waiter, which re-flushes
+// open batches so queries parked in partially filled batches make
+// progress. The epoch check closes the lost-wakeup window where a batch
+// is created while the waiter is inside flushAll: the waiter only sleeps
+// if nothing has progressed since before its flush, and any later event
+// must broadcast under drainMu. Go's sequentially consistent atomics
+// make the waiter-count/epoch handshake with notifyProgress safe.
 func (e *Engine) awaitDrain() {
-	for e.completed.Load() < e.submitted.Load() {
+	if e.completed.Load() >= e.submitted.Load() {
+		return
+	}
+	e.drainWaiters.Add(1)
+	defer e.drainWaiters.Add(-1)
+	for {
+		ep := e.progressEpoch.Load()
 		e.flushAll(e.idx.Load())
-		time.Sleep(200 * time.Microsecond)
+		if e.completed.Load() >= e.submitted.Load() {
+			return
+		}
+		e.drainMu.Lock()
+		if e.progressEpoch.Load() == ep && e.completed.Load() < e.submitted.Load() {
+			e.drainCond.Wait()
+		}
+		e.drainMu.Unlock()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"tagmatch/internal/bitvec"
 	"tagmatch/internal/gpu"
+	"tagmatch/internal/obs"
 )
 
 // Result layout (§3.3.1). A (query, set) pair uses an 8-bit query id (its
@@ -94,6 +95,9 @@ func blockPrefilter(b *gpu.BlockCtx, blockSets []bitvec.Vector, qs []bitvec.Vect
 //     produce globally meaningful set ids in the output.
 //   - queries: device-resident batch of query signatures.
 //   - hdr, pairs: result header and packed pair buffer.
+//   - pf: optional per-partition observability counters; the kernel
+//     reports prefilter effectiveness (blocks evaluated vs. fully
+//     pruned) through it.
 //
 // Each thread owns one tag set (the paper's thread_id); the block-level
 // pre-filter prunes the query batch before the per-set subset checks.
@@ -106,6 +110,7 @@ func matchKernelAt(
 	pairs *gpu.Buffer[byte],
 	maxPairs int,
 	prefilter bool,
+	pf *obs.PartitionCounters,
 ) gpu.KernelFunc {
 	return func(b *gpu.BlockCtx) {
 		sets := tagsets.Data()[partOff : partOff+partLen]
@@ -120,7 +125,13 @@ func matchKernelAt(
 
 		var shared []uint8
 		if prefilter {
+			if pf != nil {
+				pf.PrefilterBlocks.Add(1)
+			}
 			if shared = blockPrefilter(b, blockSets, qs); shared == nil {
+				if pf != nil {
+					pf.PrefilterPruned.Add(1)
+				}
 				return
 			}
 		}
@@ -162,6 +173,7 @@ func splitMatchKernelAt(
 	outS *gpu.Buffer[uint32],
 	maxPairs int,
 	prefilter bool,
+	pf *obs.PartitionCounters,
 ) gpu.KernelFunc {
 	return func(b *gpu.BlockCtx) {
 		sets := tagsets.Data()[partOff : partOff+partLen]
@@ -176,7 +188,13 @@ func splitMatchKernelAt(
 
 		var shared []uint8
 		if prefilter {
+			if pf != nil {
+				pf.PrefilterBlocks.Add(1)
+			}
 			if shared = blockPrefilter(b, blockSets, qs); shared == nil {
+				if pf != nil {
+					pf.PrefilterPruned.Add(1)
+				}
 				return
 			}
 		}
@@ -216,17 +234,27 @@ func splitMatchKernelAt(
 // cpuMatchBatch runs the subset match for a whole batch on the CPU: the
 // execution path of CPU-only TagMatch, and the correctness fallback when
 // a GPU result buffer overflows. It applies the same block-prefix
-// shortcut over runs of blockDim lexicographically sorted sets.
+// shortcut over runs of blockDim lexicographically sorted sets, and
+// reports prefilter effectiveness through pf (may be nil) with one
+// atomic update per batch.
 func cpuMatchBatch(
 	sets []bitvec.Vector, // the partition's slice of the tagset table
 	globalBase int, // global set id of sets[0]
 	queries []bitvec.Vector,
 	blockDim int,
 	prefilter bool,
+	pf *obs.PartitionCounters,
 	visit func(q uint8, s uint32),
 ) {
 	if blockDim <= 0 {
 		blockDim = 256
+	}
+	var pfBlocks, pfPruned int64
+	if prefilter && pf != nil {
+		defer func() {
+			pf.PrefilterBlocks.Add(pfBlocks)
+			pf.PrefilterPruned.Add(pfPruned)
+		}()
 	}
 	qIdx := make([]uint8, 0, len(queries))
 	for blk := 0; blk < len(sets); blk += blockDim {
@@ -234,6 +262,7 @@ func cpuMatchBatch(
 		block := sets[blk:end]
 		qIdx = qIdx[:0]
 		if prefilter {
+			pfBlocks++
 			prefixLen := bitvec.CommonPrefixLen(block[0], block[len(block)-1])
 			prefix := block[0].Prefix(prefixLen)
 			for i := range queries {
@@ -242,6 +271,7 @@ func cpuMatchBatch(
 				}
 			}
 			if len(qIdx) == 0 {
+				pfPruned++
 				continue
 			}
 		} else {

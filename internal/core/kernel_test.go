@@ -78,7 +78,7 @@ func runGPUKernel(t *testing.T, sets, queries []bitvec.Vector, maxPairs, blockDi
 	gpu.CopyToDeviceAsync(s, hdr, 0, []uint32{0, 0})
 	gpu.CopyToDeviceAsync(s, qbuf, 0, queries)
 	grid := gpu.Grid{Blocks: (len(sets) + blockDim - 1) / blockDim, BlockDim: blockDim}
-	s.LaunchAsync(grid, matchKernelAt(tagsets, 0, len(sets), 0, qbuf, len(queries), hdr, pairsBuf, maxPairs, prefilter))
+	s.LaunchAsync(grid, matchKernelAt(tagsets, 0, len(sets), 0, qbuf, len(queries), hdr, pairsBuf, maxPairs, prefilter, nil))
 	hdrHost := make([]uint32, resHeaderWords)
 	gpu.CopyFromDeviceAsync(s, hdr, hdrHost, 0)
 	s.Synchronize()
@@ -152,7 +152,7 @@ func TestCPUMatchBatchMatchesBruteForce(t *testing.T) {
 	want := bruteForcePairs(sets, 1000, queries)
 	for _, prefilter := range []bool{true, false} {
 		var got []pair
-		cpuMatchBatch(sets, 1000, queries, 256, prefilter, func(q uint8, s uint32) {
+		cpuMatchBatch(sets, 1000, queries, 256, prefilter, nil, func(q uint8, s uint32) {
 			got = append(got, pair{q, s})
 		})
 		sortPairs(got)
@@ -169,7 +169,7 @@ func TestCPUMatchBatchMatchesBruteForce(t *testing.T) {
 
 func TestCPUMatchBatchEmpty(t *testing.T) {
 	called := false
-	cpuMatchBatch(nil, 0, []bitvec.Vector{bitvec.FromOnes(1)}, 256, true, func(uint8, uint32) { called = true })
+	cpuMatchBatch(nil, 0, []bitvec.Vector{bitvec.FromOnes(1)}, 256, true, nil, func(uint8, uint32) { called = true })
 	if called {
 		t.Fatal("visit called for empty partition")
 	}
@@ -290,7 +290,7 @@ func TestSplitKernelMatchesPacked(t *testing.T) {
 	gpu.CopyToDeviceAsync(s, outQ, 0, []uint32{0, 0})
 	gpu.CopyToDeviceAsync(s, qbuf, 0, queries)
 	grid := gpu.Grid{Blocks: (len(sets) + 255) / 256, BlockDim: 256}
-	s.LaunchAsync(grid, splitMatchKernelAt(tagsets, 0, len(sets), 0, qbuf, len(queries), outQ, outS, maxPairs, true))
+	s.LaunchAsync(grid, splitMatchKernelAt(tagsets, 0, len(sets), 0, qbuf, len(queries), outQ, outS, maxPairs, true, nil))
 	hdrHost := make([]uint32, splitHeaderWords)
 	gpu.CopyFromDeviceAsync(s, outQ, hdrHost, 0)
 	s.Synchronize()

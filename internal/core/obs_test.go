@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tagmatch/internal/obs"
+)
+
+func obsTestEngine(t *testing.T, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{MaxPartitionSize: 64, BatchSize: 8, Threads: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	for i := 0; i < 200; i++ {
+		e.AddSet([]string{"a", fmt.Sprintf("t%d", i%50)}, Key(i))
+	}
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestObsStageHistogramsAndPartitions(t *testing.T) {
+	e := obsTestEngine(t, nil)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := e.Match([]string{"a", fmt.Sprintf("t%d", i%50), "extra"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := e.Obs()
+	if !p.On {
+		t.Fatal("observability should default on")
+	}
+	if got := p.E2E.Count(); got != n {
+		t.Fatalf("e2e observations = %d, want %d", got, n)
+	}
+	if p.Preprocess.Count() != n {
+		t.Fatalf("preprocess observations = %d, want %d", p.Preprocess.Count(), n)
+	}
+	if p.SubsetMatch.Count() == 0 || p.Reduce.Count() == 0 {
+		t.Fatal("batch-stage histograms empty")
+	}
+	if p.BatchOccupancy.Count() == 0 {
+		t.Fatal("batch occupancy histogram empty")
+	}
+	if s := p.E2E.Snapshot(); s.QuantileDuration(0.99) <= 0 || s.Max <= 0 {
+		t.Fatalf("e2e snapshot = %+v", s)
+	}
+
+	parts := p.Parts.Snapshot()
+	if len(parts) != e.Stats().Partitions {
+		t.Fatalf("partition stats = %d, index partitions = %d", len(parts), e.Stats().Partitions)
+	}
+	var routed, batches int64
+	for _, ps := range parts {
+		routed += ps.QueriesRouted
+		batches += ps.BatchesFull + ps.BatchesTimedOut + ps.BatchesFlushed
+	}
+	st := e.Stats()
+	if routed == 0 || batches != st.BatchesDispatched {
+		t.Fatalf("routed=%d batches=%d dispatched=%d", routed, batches, st.BatchesDispatched)
+	}
+
+	// Stage snapshots feed the export surfaces.
+	snap := p.Snapshot(true)
+	if len(snap.Stages) != 5 || len(snap.Partitions) != len(parts) {
+		t.Fatalf("snapshot shape: %d stages, %d partitions", len(snap.Stages), len(snap.Partitions))
+	}
+	if snap.Gauges == nil {
+		t.Fatal("engine gauges not registered")
+	}
+	if _, ok := snap.Gauges[`tagmatch_queue_depth{queue="input"}`]; !ok {
+		t.Fatalf("missing input queue gauge: %v", snap.Gauges)
+	}
+}
+
+func TestObsPerQueryTracing(t *testing.T) {
+	e := obsTestEngine(t, func(c *Config) { c.TraceEvery = 1; c.TraceKeep = 16 })
+	if _, err := e.Match([]string{"a", "t3", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	traces := e.Obs().Tracer.Recent()
+	if len(traces) == 0 {
+		t.Fatal("no traces with TraceEvery=1")
+	}
+	tr := traces[len(traces)-1]
+	stages := map[string]bool{}
+	for _, ev := range tr.Events {
+		stages[ev.Stage] = true
+	}
+	for _, want := range []string{obs.StagePreprocess, "batch", "batch-done", "done"} {
+		if !stages[want] {
+			t.Fatalf("trace missing stage %q: %+v", want, tr.Events)
+		}
+	}
+}
+
+func TestObsDisabled(t *testing.T) {
+	e := obsTestEngine(t, func(c *Config) { c.DisableObservability = true })
+	if _, err := e.Match([]string{"a", "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Obs()
+	if p.On {
+		t.Fatal("observability should be off")
+	}
+	if p.E2E.Count() != 0 || p.BatchOccupancy.Count() != 0 {
+		t.Fatal("disabled pipeline recorded samples")
+	}
+	if p.Parts.Len() != 0 {
+		t.Fatal("disabled pipeline allocated partition counters")
+	}
+}
+
+// TestDrainEventDriven exercises the condition-variable drain: many
+// queries submitted with no flush timeout must drain promptly (the old
+// implementation polled at 200µs; the new one is woken by completions
+// and re-flushes parked batches).
+func TestDrainEventDriven(t *testing.T) {
+	e := obsTestEngine(t, func(c *Config) { c.BatchSize = 256 }) // batches never fill
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := e.Submit([]string{"a", fmt.Sprintf("t%d", i%50)}, func(MatchResult) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { e.Drain(); wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if st := e.Stats(); st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestConcurrentDrainers runs overlapping submitters and drainers to
+// shake races in the progress-epoch handshake (run under -race in CI).
+func TestConcurrentDrainers(t *testing.T) {
+	e := obsTestEngine(t, func(c *Config) { c.Threads = 4 })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := e.Submit([]string{"a", fmt.Sprintf("t%d", (i+w)%50)}, func(MatchResult) {}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%25 == 0 {
+					e.Drain()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.Drain()
+	if st := e.Stats(); st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}

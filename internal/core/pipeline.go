@@ -9,6 +9,7 @@ import (
 	"tagmatch/internal/bitvec"
 	"tagmatch/internal/bloom"
 	"tagmatch/internal/gpu"
+	"tagmatch/internal/obs"
 )
 
 // query is one match operation flowing through the pipeline.
@@ -31,6 +32,10 @@ type query struct {
 	keys []Key
 
 	done func(MatchResult)
+
+	// trace is non-nil for the sampled 1-in-N queries when tracing is
+	// configured; all event methods are nil-safe.
+	trace *obs.Trace
 }
 
 // finish decrements the outstanding-batch counter and runs the merge
@@ -44,13 +49,25 @@ func (q *query) finish(e *Engine, n int32) {
 	q.keys = nil
 	q.mu.Unlock()
 	if q.unique {
-		keys = dedupKeys(keys)
+		if e.obs.On {
+			t0 := time.Now()
+			keys = dedupKeys(keys)
+			e.obs.Merge.ObserveDuration(time.Since(t0))
+		} else {
+			keys = dedupKeys(keys)
+		}
 	}
 	e.keysDelivered.Add(int64(len(keys)))
 	e.completed.Add(1)
-	if q.done != nil {
-		q.done(MatchResult{Keys: keys, Latency: time.Since(q.start)})
+	latency := time.Since(q.start)
+	if e.obs.On {
+		e.obs.E2E.ObserveDuration(latency)
 	}
+	q.trace.Done(int64(len(keys)))
+	if q.done != nil {
+		q.done(MatchResult{Keys: keys, Latency: latency})
+	}
+	e.notifyProgress()
 }
 
 // dedupKeys sorts and compacts a key slice in place (merge stage of
@@ -166,6 +183,7 @@ func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool
 	e.submitMu.RLock()
 	idx := e.idx.Load()
 	q := &query{sig: sig, tags: tags, unique: unique, start: time.Now(), idx: idx, done: done}
+	q.trace = e.obs.Tracer.Maybe()
 	q.pending.Store(1) // pre-processing guard
 	e.submitted.Add(1)
 	e.inputCh <- q
@@ -221,6 +239,7 @@ func (e *Engine) preprocessWorker() {
 	var pids []uint32
 	for q := range e.inputCh {
 		idx := q.idx
+		var spent time.Duration // this query's routing time, dispatch excluded
 		t0 := time.Now()
 		pids = idx.pt.lookup(q.sig, pids[:0])
 		pids = append(pids, idx.maskless...)
@@ -228,15 +247,21 @@ func (e *Engine) preprocessWorker() {
 		for _, pid := range pids {
 			q.pending.Add(1)
 			if full := e.appendToBatch(idx, pid, q); full != nil {
-				e.preprocessNs.Add(int64(time.Since(t0)))
-				e.dispatch(idx, full)
+				spent += time.Since(t0)
+				e.dispatch(idx, full, dispatchFull)
 				t0 = time.Now()
 			}
 		}
-		e.preprocessNs.Add(int64(time.Since(t0)))
+		spent += time.Since(t0)
+		e.preprocessNs.Add(int64(spent))
+		if e.obs.On {
+			e.obs.Preprocess.ObserveDuration(spent)
+		}
+		q.trace.Event(obs.StagePreprocess, -1, int64(len(pids)))
 		// Drop the pre-processing guard; completes the query now if it
 		// matched no partitions (or they all finished already).
 		q.finish(e, 1)
+		e.notifyProgress()
 	}
 }
 
@@ -256,12 +281,21 @@ func (e *Engine) appendToBatch(idx *index, pid uint32, q *query) *openBatch {
 	b := p.batch
 	b.queries = append(b.queries, q)
 	b.sigs = append(b.sigs, q.sig)
-	if len(b.queries) >= e.cfg.BatchSize {
+	fill := len(b.queries)
+	full := fill >= e.cfg.BatchSize
+	if full {
 		p.batch = nil
-		idx.locks[pid].Unlock()
-		return b
 	}
 	idx.locks[pid].Unlock()
+	if c := e.partCounters(pid); c != nil {
+		c.QueriesRouted.Add(1)
+	}
+	if q.trace != nil {
+		q.trace.Event("batch", int32(pid), int64(fill))
+	}
+	if full {
+		return b
+	}
 	return nil
 }
 
@@ -274,7 +308,7 @@ func (e *Engine) flushAll(idx *index) {
 		p.batch = nil
 		idx.locks[pid].Unlock()
 		if b != nil {
-			e.dispatch(idx, b)
+			e.dispatch(idx, b, dispatchFlush)
 		}
 	}
 }
@@ -306,19 +340,42 @@ func (e *Engine) flusher() {
 				idx.locks[pid].Unlock()
 				if b != nil {
 					e.batchesTimedOut.Add(1)
-					e.dispatch(idx, b)
+					e.dispatch(idx, b, dispatchTimeout)
 				}
 			}
 		}
 	}
 }
 
+// dispatchReason records why a batch left the pre-process stage, for the
+// per-partition fullness-vs-timeout breakdown.
+type dispatchReason uint8
+
+const (
+	dispatchFull dispatchReason = iota
+	dispatchTimeout
+	dispatchFlush
+)
+
 // dispatch runs the subset-match stage for one batch: on a GPU stream
 // when devices are configured, otherwise synchronously on the calling CPU
 // thread (CPU-only TagMatch).
-func (e *Engine) dispatch(idx *index, b *openBatch) {
+func (e *Engine) dispatch(idx *index, b *openBatch, reason dispatchReason) {
 	e.batches.Add(1)
 	e.inflightBatches.Add(1)
+	if e.obs.On {
+		e.obs.BatchOccupancy.Observe(int64(len(b.queries)))
+		if c := e.obs.Parts.Get(b.pid); c != nil {
+			switch reason {
+			case dispatchFull:
+				c.BatchesFull.Add(1)
+			case dispatchTimeout:
+				c.BatchesTimedOut.Add(1)
+			default:
+				c.BatchesFlushed.Add(1)
+			}
+		}
+	}
 	b.dispatched = time.Now()
 	if len(idx.devices) == 0 {
 		e.cpuDispatch(idx, b)
@@ -371,7 +428,8 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, []uint32{0, 0})
 		gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
 		sc.stream.LaunchAsync(grid, splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
-			sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter))
+			sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+			e.partCounters(b.pid)))
 		hdrHost := make([]uint32, splitHeaderWords)
 		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, hdrHost, 0)
 		sc.stream.Callback(func() {
@@ -399,7 +457,8 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 	gpu.CopyToDeviceAsync(sc.stream, sc.hdr, 0, []uint32{0, 0})
 	gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
 	sc.stream.LaunchAsync(grid, matchKernelAt(buf, partOff, int(p.n), globalBase,
-		sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter))
+		sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+		e.partCounters(b.pid)))
 
 	if e.cfg.SizeThenCopy {
 		// Ablation: the naive scheme — copy the 4-byte size, then issue
@@ -483,11 +542,22 @@ func (e *Engine) reduceOne(res *batchResult) {
 	b := res.batch
 	p := &idx.parts[b.pid]
 	t0 := time.Now()
-	e.matchNs.Add(int64(t0.Sub(b.dispatched)))
-	defer func() { e.reduceNs.Add(int64(time.Since(t0))) }()
+	matchDur := t0.Sub(b.dispatched)
+	e.matchNs.Add(int64(matchDur))
+	if e.obs.On {
+		e.obs.SubsetMatch.ObserveDuration(matchDur)
+	}
+	defer func() {
+		reduceDur := time.Since(t0)
+		e.reduceNs.Add(int64(reduceDur))
+		if e.obs.On {
+			e.obs.Reduce.ObserveDuration(reduceDur)
+		}
+	}()
 
+	var nPairs int64 // accumulated locally; one atomic add per batch
 	visit := func(qi uint8, setID uint32) {
-		e.pairs.Add(1)
+		nPairs++
 		q := b.queries[qi]
 		lo, hi := idx.keyOff[setID], idx.keyOff[setID+1]
 		q.mu.Lock()
@@ -505,15 +575,19 @@ func (e *Engine) reduceOne(res *batchResult) {
 		q.mu.Unlock()
 	}
 
+	pc := e.partCounters(b.pid)
 	switch {
 	case res.overflow:
 		// GPU result buffer overflowed (or CPU-only mode): run the
 		// batch's subset match on the host for correctness.
 		if len(idx.devices) > 0 {
 			e.overflows.Add(1)
+			if pc != nil {
+				pc.Overflows.Add(1)
+			}
 		}
 		sets := idx.sets[p.off : p.off+p.n]
-		cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim, !e.cfg.DisablePrefilter, visit)
+		cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim, !e.cfg.DisablePrefilter, pc, visit)
 	case res.packed != nil:
 		decodePacked(res.packed, res.count, visit)
 	case res.qIDs != nil:
@@ -521,9 +595,21 @@ func (e *Engine) reduceOne(res *batchResult) {
 			visit(uint8(res.qIDs[i]), res.sIDs[i])
 		}
 	}
+	e.pairs.Add(nPairs)
+	if pc != nil {
+		pc.Pairs.Add(nPairs)
+	}
+	if e.obs.Tracing() {
+		for _, q := range b.queries {
+			if q.trace != nil {
+				q.trace.Event("batch-done", int32(b.pid), nPairs)
+			}
+		}
+	}
 
 	for _, q := range b.queries {
 		q.finish(e, 1)
 	}
 	e.inflightBatches.Add(-1)
+	e.notifyProgress()
 }

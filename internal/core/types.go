@@ -104,6 +104,21 @@ type Config struct {
 	// this way are often empty or tiny, so pre-processing prunes far
 	// fewer partitions.
 	FirstFitPartitioning bool
+
+	// TraceEvery samples one query in N for full pipeline tracing: the
+	// timestamped path through every stage and its batch assignments,
+	// retrievable via Obs().Tracer. Zero disables tracing (default).
+	TraceEvery int
+
+	// TraceKeep is the number of completed traces retained (default 128).
+	TraceKeep int
+
+	// DisableObservability turns off the internal/obs instrumentation —
+	// stage histograms, per-partition counters, traces — leaving only
+	// the cumulative Stats counters. The obs-overhead benchmark compares
+	// against this configuration; production deployments should leave
+	// observability on (the overhead is a few percent at most).
+	DisableObservability bool
 }
 
 // DefaultConfig returns the paper-faithful defaults for a database of
@@ -149,38 +164,39 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Stats is a snapshot of engine activity.
+// Stats is a snapshot of engine activity. The JSON field names are part
+// of the GET /stats contract of internal/httpserver.
 type Stats struct {
 	// Database shape after the last Consolidate.
-	UniqueSets int
-	Partitions int
-	Keys       int
+	UniqueSets int `json:"unique_sets"`
+	Partitions int `json:"partitions"`
+	Keys       int `json:"keys"`
 
 	// Pipeline counters.
-	QueriesSubmitted   int64
-	QueriesCompleted   int64
-	BatchesDispatched  int64
-	BatchesTimedOut    int64
-	PairsProduced      int64
-	KeysDelivered      int64
-	ResultOverflows    int64
-	PartitionsSearched int64
+	QueriesSubmitted   int64 `json:"queries_submitted"`
+	QueriesCompleted   int64 `json:"queries_completed"`
+	BatchesDispatched  int64 `json:"batches_dispatched"`
+	BatchesTimedOut    int64 `json:"batches_timed_out"`
+	PairsProduced      int64 `json:"pairs_produced"`
+	KeysDelivered      int64 `json:"keys_delivered"`
+	ResultOverflows    int64 `json:"result_overflows"`
+	PartitionsSearched int64 `json:"partitions_searched"`
 
 	// Memory accounting (Fig 9): host side and per-device.
-	HostBytes   int64
-	DeviceBytes []int64
+	HostBytes   int64   `json:"host_bytes"`
+	DeviceBytes []int64 `json:"device_bytes,omitempty"`
 
 	// LastConsolidate is the duration of the most recent Consolidate
 	// call (Fig 8).
-	LastConsolidate time.Duration
+	LastConsolidate time.Duration `json:"last_consolidate_ns"`
 
 	// Cumulative busy time per pipeline stage, summed across workers:
 	// pre-process (Algorithm 2 + batch fill), subset match (dispatch to
 	// result arrival), and key lookup/reduce. Useful for locating the
 	// pipeline bottleneck on a given host and workload.
-	PreprocessTime  time.Duration
-	SubsetMatchTime time.Duration
-	ReduceTime      time.Duration
+	PreprocessTime  time.Duration `json:"preprocess_time_ns"`
+	SubsetMatchTime time.Duration `json:"subset_match_time_ns"`
+	ReduceTime      time.Duration `json:"reduce_time_ns"`
 }
 
 // MatchResult carries the outcome of one query through the pipeline.

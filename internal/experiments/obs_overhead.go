@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"tagmatch/internal/core"
+)
+
+// ObsOverheadResult is the JSON shape of the obs-overhead comparison
+// (BENCH_obs.json): throughput with the observability layer enabled vs.
+// disabled, and the relative cost. The instrumentation budget is <5%.
+type ObsOverheadResult struct {
+	QPSOn       float64   `json:"qps_on"`
+	QPSOff      float64   `json:"qps_off"`
+	OverheadPct float64   `json:"overhead_pct"`
+	RunsOn      []float64 `json:"runs_on"`
+	RunsOff     []float64 `json:"runs_off"`
+	Queries     int       `json:"queries"`
+	GPUs        int       `json:"gpus"`
+	Threads     int       `json:"threads"`
+}
+
+// ObsOverhead measures the throughput cost of the internal/obs
+// instrumentation: the same engine and query stream with observability
+// on (the default, plus 1-in-64 tracing to include the tracer's cost)
+// and with DisableObservability set. Medians of repeated interleaved
+// runs keep scheduler noise from swamping the few-percent effect.
+func ObsOverhead(p Params) (*Table, *ObsOverheadResult) {
+	ds := BuildDataset(p)
+	sigs, keys := ds.Slice(0.5)
+	queries := ds.Queries(4096, 0.5, -1, p.Seed+2000)
+
+	const reps = 7
+	build := func(mutate func(*core.Config)) (*core.Engine, func()) {
+		eng, devs, err := BuildEngine(EngineSpec{
+			Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: p.GPUs,
+			MaxP: ds.BaseMaxP(), Mutate: mutate,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return eng, func() { eng.Close(); closeDevices(devs) }
+	}
+	engOn, closeOn := build(func(c *core.Config) { c.TraceEvery = 64 })
+	engOff, closeOff := build(func(c *core.Config) { c.DisableObservability = true })
+
+	// Alternate on/off runs so host drift (frequency scaling, background
+	// load) hits both configurations equally instead of biasing whichever
+	// happens to run second.
+	var runsOn, runsOff []float64
+	for rep := 0; rep < reps; rep++ {
+		runsOn = append(runsOn, MeasureEngine(engOn, queries, p.Queries, false).QPS)
+		runsOff = append(runsOff, MeasureEngine(engOff, queries, p.Queries, false).QPS)
+	}
+	closeOn()
+	closeOff()
+
+	r := &ObsOverheadResult{
+		QPSOn:   SortedCopy(runsOn)[reps/2],
+		QPSOff:  SortedCopy(runsOff)[reps/2],
+		RunsOn:  runsOn,
+		RunsOff: runsOff,
+		Queries: p.Queries,
+		GPUs:    p.GPUs,
+		Threads: p.Threads,
+	}
+	r.OverheadPct = (r.QPSOff - r.QPSOn) / r.QPSOff * 100
+
+	t := &Table{
+		ID:    "obs-overhead",
+		Title: "Observability overhead, match (K queries/s)",
+		Cols:  []string{"throughput"},
+	}
+	t.Add("obs on (histograms+counters+1/64 traces)", r.QPSOn/1e3)
+	t.Add("obs off (DisableObservability)", r.QPSOff/1e3)
+	t.Note("overhead: %.1f%% (budget <5%%); median of %d runs each", r.OverheadPct, reps)
+	return t, r
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *ObsOverheadResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -330,6 +330,14 @@ func (d *Device) Stats() Stats {
 // MemInUse returns the current simulated device memory consumption.
 func (d *Device) MemInUse() int64 { return d.memInUse.Load() }
 
+// OpenStreams returns the number of streams currently open on the
+// device (of the MaxStreams budget).
+func (d *Device) OpenStreams() int {
+	d.streams.Lock()
+	defer d.streams.Unlock()
+	return d.streams.open
+}
+
 // reserve accounts a device memory allocation against the budget.
 func (d *Device) reserve(bytes int64) error {
 	for {

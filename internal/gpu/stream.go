@@ -58,6 +58,11 @@ func (s *Stream) Close() {
 // Device returns the stream's device.
 func (s *Stream) Device() *Device { return s.dev }
 
+// QueueDepth returns the number of operations enqueued on the stream and
+// not yet started — a saturation gauge for the observability layer (an
+// operation being executed no longer counts).
+func (s *Stream) QueueDepth() int { return len(s.ops) }
+
 // CopyToDeviceAsync enqueues an H2D copy of src into buf at dstOff.
 // The src slice must not be modified until the operation completes
 // (Synchronize, or a later Callback).

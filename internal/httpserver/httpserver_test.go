@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"testing"
 
 	"tagmatch"
@@ -146,6 +147,82 @@ func TestStatsAndHealth(t *testing.T) {
 	h.Body.Close()
 	if h.StatusCode != http.StatusOK {
 		t.Fatalf("healthz → %d", h.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post(t, srv.URL+"/add", SetRequest{Tags: []string{"m"}, Key: 7}, nil)
+	post(t, srv.URL+"/consolidate", struct{}{}, nil)
+	post(t, srv.URL+"/match", MatchRequest{Tags: []string{"m", "x"}}, nil)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"# TYPE tagmatch_queries_submitted_total counter",
+		"tagmatch_queries_submitted_total 1",
+		"tagmatch_queries_completed_total 1",
+		"tagmatch_db_sets 1",
+		`tagmatch_stage_busy_seconds_total{stage="preprocess"}`,
+		`tagmatch_device_kernel_launches_total{device="sim-gpu-0"}`,
+		`tagmatch_stage_duration_seconds_bucket{stage="e2e",le="+Inf"} 1`,
+		`tagmatch_stage_duration_seconds_count{stage="e2e"} 1`,
+		"tagmatch_batch_occupancy_queries_count 1",
+		`tagmatch_partition_queries_routed_total{partition="0"} 1`,
+		`tagmatch_queue_depth{queue="input"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestDebugStatsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post(t, srv.URL+"/add", SetRequest{Tags: []string{"d"}, Key: 1}, nil)
+	post(t, srv.URL+"/consolidate", struct{}{}, nil)
+	post(t, srv.URL+"/match", MatchRequest{Tags: []string{"d", "y"}}, nil)
+
+	resp, err := http.Get(srv.URL + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ds DebugStats
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Stats.QueriesCompleted != 1 {
+		t.Fatalf("stats = %+v", ds.Stats)
+	}
+	if len(ds.Obs.Stages) != 5 {
+		t.Fatalf("obs stages = %d, want 5", len(ds.Obs.Stages))
+	}
+	found := false
+	for _, st := range ds.Obs.Stages {
+		if st.Stage == "e2e" && st.Count == 1 && st.P99 > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no populated e2e stage: %+v", ds.Obs.Stages)
+	}
+	if len(ds.Obs.Partitions) == 0 {
+		t.Fatal("debug stats should include all partitions")
+	}
+	if len(ds.Devices) != 1 || ds.Devices[0].Name != "sim-gpu-0" {
+		t.Fatalf("devices = %+v", ds.Devices)
 	}
 }
 

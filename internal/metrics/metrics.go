@@ -115,6 +115,17 @@ func (l *Latencies) Max() time.Duration {
 	return s[len(s)-1]
 }
 
+// Merge appends every sample of o into l (combining per-worker
+// distributions before a percentile query).
+func (l *Latencies) Merge(o *Latencies) {
+	o.mu.Lock()
+	samples := append([]time.Duration(nil), o.samples...)
+	o.mu.Unlock()
+	l.mu.Lock()
+	l.samples = append(l.samples, samples...)
+	l.mu.Unlock()
+}
+
 // Summary is a compact latency digest.
 type Summary struct {
 	Count            int

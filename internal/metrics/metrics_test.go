@@ -78,6 +78,79 @@ func TestLatenciesConcurrent(t *testing.T) {
 	}
 }
 
+func TestLatenciesSingleAndDuplicates(t *testing.T) {
+	l := NewLatencies()
+	l.Observe(7 * time.Millisecond)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := l.Percentile(p); got != 7*time.Millisecond {
+			t.Fatalf("single-sample P%v = %v", p*100, got)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		l.Observe(7 * time.Millisecond)
+	}
+	if got := l.Percentile(0.5); got != 7*time.Millisecond {
+		t.Fatalf("duplicate-sample P50 = %v", got)
+	}
+	if s := l.Summarize(); s.Count != 10 || s.Max != 7*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestLatenciesMerge(t *testing.T) {
+	a, b := NewLatencies(), NewLatencies()
+	for i := 1; i <= 50; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.Percentile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("merged P50 = %v", got)
+	}
+	if got := a.Max(); got != 100*time.Millisecond {
+		t.Fatalf("merged max = %v", got)
+	}
+	if b.Count() != 50 {
+		t.Fatalf("merge mutated source: %d", b.Count())
+	}
+
+	// Merging an empty distribution is a no-op; merging into empty copies.
+	empty := NewLatencies()
+	a.Merge(empty)
+	if a.Count() != 100 {
+		t.Fatalf("count after empty merge = %d", a.Count())
+	}
+	empty.Merge(b)
+	if empty.Count() != 50 {
+		t.Fatalf("empty after merge = %d", empty.Count())
+	}
+}
+
+func TestLatenciesConcurrentMerge(t *testing.T) {
+	dst := NewLatencies()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := NewLatencies()
+			for i := 0; i < 500; i++ {
+				src.Observe(time.Microsecond)
+			}
+			dst.Merge(src)
+		}()
+	}
+	wg.Wait()
+	if dst.Count() != 2000 {
+		t.Fatalf("Count = %d", dst.Count())
+	}
+}
+
 func TestFmtBytes(t *testing.T) {
 	cases := map[int64]string{
 		512:           "512 B",

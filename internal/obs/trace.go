@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer samples 1-in-N queries and records their timestamped path
+// through the pipeline. Sampling costs one atomic increment per query;
+// non-sampled queries carry a nil *Trace and pay nothing further. The
+// last completed traces are kept in a fixed-size ring, retrievable as
+// structured records (GET /debug/stats serves them as JSON).
+type Tracer struct {
+	every uint64 // 0 = tracing disabled
+	n     atomic.Uint64
+	id    atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []TraceRecord
+	next   int
+	filled bool
+}
+
+// NewTracer samples one query in every 'every' (0 disables tracing) and
+// retains the most recent 'keep' completed traces (default 128).
+func NewTracer(every, keep int) *Tracer {
+	if keep <= 0 {
+		keep = 128
+	}
+	t := &Tracer{ring: make([]TraceRecord, keep)}
+	if every > 0 {
+		t.every = uint64(every)
+	}
+	return t
+}
+
+// Enabled reports whether any query can be sampled.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// Maybe returns a new Trace for a sampled query, or nil.
+func (t *Tracer) Maybe() *Trace {
+	if !t.Enabled() {
+		return nil
+	}
+	if t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		rec: TraceRecord{
+			ID:    t.id.Add(1),
+			Start: time.Now(),
+		},
+	}
+}
+
+// Trace accumulates the events of one sampled query. Event appends are
+// serialized by a per-trace mutex; only the sampled fraction of queries
+// ever contend on it.
+type Trace struct {
+	tracer *Tracer
+	mu     sync.Mutex
+	rec    TraceRecord
+}
+
+// TraceRecord is the exported form of a completed trace.
+type TraceRecord struct {
+	ID     uint64       `json:"id"`
+	Start  time.Time    `json:"start"`
+	Events []TraceEvent `json:"events"`
+}
+
+// TraceEvent is one timestamped step of a traced query.
+type TraceEvent struct {
+	// At is the offset from the trace's start.
+	At time.Duration `json:"at_ns"`
+	// Stage names the pipeline step: submit, preprocess, batch,
+	// batch-done, merge, done.
+	Stage string `json:"stage"`
+	// Partition is the partition involved, or -1 when not applicable.
+	Partition int32 `json:"partition"`
+	// N is a stage-specific magnitude: partitions routed (preprocess),
+	// batch fill level (batch), pairs decoded (batch-done), keys
+	// delivered (done).
+	N int64 `json:"n"`
+}
+
+// Event records one step. Safe on a nil trace (non-sampled query).
+func (tr *Trace) Event(stage string, partition int32, n int64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.rec.Events = append(tr.rec.Events, TraceEvent{
+		At:        time.Since(tr.rec.Start),
+		Stage:     stage,
+		Partition: partition,
+		N:         n,
+	})
+	tr.mu.Unlock()
+}
+
+// Done finalizes the trace and publishes it to the tracer's ring. Safe on
+// a nil trace.
+func (tr *Trace) Done(keys int64) {
+	if tr == nil {
+		return
+	}
+	tr.Event("done", -1, keys)
+	tr.mu.Lock()
+	rec := tr.rec
+	rec.Events = append([]TraceEvent(nil), tr.rec.Events...)
+	tr.mu.Unlock()
+
+	t := tr.tracer
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the completed traces in the ring, oldest first.
+func (t *Tracer) Recent() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TraceRecord
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

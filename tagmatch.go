@@ -40,6 +40,7 @@ import (
 
 	"tagmatch/internal/core"
 	"tagmatch/internal/gpu"
+	"tagmatch/internal/obs"
 )
 
 // Key is the application value associated with a stored tag set — a user
@@ -90,6 +91,17 @@ type Config struct {
 	// cost of storing the tags and one string-set containment check per
 	// candidate key.
 	ExactVerify bool
+
+	// TraceEvery samples one query in N for full pipeline tracing,
+	// retrievable via Obs().Tracer or GET /debug/stats. Zero disables
+	// tracing (the default).
+	TraceEvery int
+
+	// DisableObservability turns off the stage histograms, per-partition
+	// counters and traces of the observability layer, keeping only the
+	// cumulative Stats counters. Overhead with observability on is a few
+	// percent at most (see cmd/tagmatch-bench obs-overhead).
+	DisableObservability bool
 }
 
 // Engine is a TagMatch subset-matching engine. See the package
@@ -118,14 +130,16 @@ func New(cfg Config) (*Engine, error) {
 		devices = append(devices, gpu.New(gcfg))
 	}
 	ccfg := core.Config{
-		MaxPartitionSize: cfg.MaxPartitionSize,
-		BatchSize:        cfg.BatchSize,
-		BatchTimeout:     cfg.BatchTimeout,
-		Threads:          cfg.Threads,
-		Devices:          devices,
-		StreamsPerDevice: cfg.StreamsPerGPU,
-		Replicate:        !cfg.PartitionAcrossGPUs,
-		ExactVerify:      cfg.ExactVerify,
+		MaxPartitionSize:     cfg.MaxPartitionSize,
+		BatchSize:            cfg.BatchSize,
+		BatchTimeout:         cfg.BatchTimeout,
+		Threads:              cfg.Threads,
+		Devices:              devices,
+		StreamsPerDevice:     cfg.StreamsPerGPU,
+		Replicate:            !cfg.PartitionAcrossGPUs,
+		ExactVerify:          cfg.ExactVerify,
+		TraceEvery:           cfg.TraceEvery,
+		DisableObservability: cfg.DisableObservability,
 	}
 	eng, err := core.New(ccfg)
 	if err != nil {
@@ -176,6 +190,27 @@ func (e *Engine) Drain() { e.core.Drain() }
 
 // Stats returns engine counters, database shape and memory usage.
 func (e *Engine) Stats() Stats { return e.core.Stats() }
+
+// Obs returns the engine's observability layer: per-stage latency
+// histograms (p50/p99/max), per-partition hot-spot counters, queue-depth
+// gauges, and sampled query traces. See internal/obs.
+func (e *Engine) Obs() *obs.Pipeline { return e.core.Obs() }
+
+// DeviceStat pairs a simulated GPU's name with its activity counters.
+type DeviceStat struct {
+	Name  string    `json:"name"`
+	Stats gpu.Stats `json:"stats"`
+}
+
+// DeviceStats returns per-device counters: kernel launches, blocks,
+// copies and bytes in each direction, atomics, and memory in use.
+func (e *Engine) DeviceStats() []DeviceStat {
+	out := make([]DeviceStat, len(e.devices))
+	for i, d := range e.devices {
+		out[i] = DeviceStat{Name: d.Name(), Stats: d.Stats()}
+	}
+	return out
+}
 
 // SaveSnapshot writes the consolidated database to w in the engine's
 // binary snapshot format. Staged operations must be consolidated first.

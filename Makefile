@@ -2,11 +2,12 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-obs clean
+.PHONY: check build vet test race bench-smoke bench-obs bench-hotpath clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
-## concurrency-heavy packages.
-check: vet build test race
+## concurrency-heavy packages, and a short allocation-tracking benchmark
+## pass over the hot path.
+check: vet build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,10 +23,22 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/obs/
 
+## bench-smoke: quick -benchmem pass over the hot-path benchmarks so a
+## regression in allocs/op shows up in the CI gate without a full
+## benchmark run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotpathSubmit|BenchmarkBlockingMatch|BenchmarkPartitionLookup' \
+		-benchtime=100x -benchmem ./internal/core/
+
 ## bench-obs: measure the observability layer's throughput overhead and
 ## write BENCH_obs.json (budget <5%).
 bench-obs:
 	$(GO) run ./cmd/tagmatch-bench obs-overhead
 
+## bench-hotpath: measure the buffer-pooling before/after (throughput,
+## p50/p99 latency, allocs per query) and write BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) run ./cmd/tagmatch-bench hotpath
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_hotpath.json

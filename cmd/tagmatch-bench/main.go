@@ -8,9 +8,10 @@
 //	tagmatch-bench all
 //
 // Experiments: table1, table3, fig2 (with fig3), fig4, fig5, fig6, fig7,
-// fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly, and
+// fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly,
 // obs-overhead (observability-layer cost, also written to
-// BENCH_obs.json).
+// BENCH_obs.json), and hotpath (buffer-pooling before/after, also
+// written to BENCH_hotpath.json).
 //
 // Flags:
 //
@@ -59,7 +60,7 @@ func allNames() []string {
 	return []string{
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
-		"ablation-pipeline", "ablation-gpuonly", "obs-overhead",
+		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
 	}
 }
 
@@ -102,6 +103,21 @@ func runOne(name string, p experiments.Params, format string) {
 		// The overhead comparison also lands in BENCH_obs.json so CI can
 		// track the instrumentation cost across commits.
 		f, err := os.Create("BENCH_obs.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	case "hotpath":
+		t, r := experiments.Hotpath(p)
+		tables = append(tables, t)
+		// Hot-path before/after numbers land in BENCH_hotpath.json so the
+		// pooling win (and any p99 regression) is tracked across commits.
+		f, err := os.Create("BENCH_hotpath.json")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -81,6 +81,15 @@ type Engine struct {
 	preprocessNs atomic.Int64
 	matchNs      atomic.Int64
 	reduceNs     atomic.Int64
+
+	// pools recycles hot-path objects (queries, batches, results,
+	// reduce scratch); see pool.go.
+	pools enginePools
+
+	// queryLockAcqs counts reduce-stage acquisitions of query mutexes.
+	// The batch-local reduce takes each query's lock at most once per
+	// (query, batch) — regression-tested against this counter.
+	queryLockAcqs atomic.Int64
 }
 
 type stagedOp struct {
@@ -97,7 +106,8 @@ type dbEntry struct {
 	tags []string
 }
 
-// index is the consolidated, immutable matching state.
+// index is the consolidated, immutable matching state (the dirty-batch
+// bookkeeping below is the one mutable part, guarded by its own mutex).
 type index struct {
 	sets     []bitvec.Vector // flat tagset table, partition-major, sorted within partitions
 	keyOff   []uint32        // CSR offsets into keys; len(sets)+1
@@ -107,6 +117,17 @@ type index struct {
 	locks    []sync.Mutex // per-partition batch locks
 	pt       *partitionTable
 	maskless []uint32 // partitions with empty mask (degenerate databases)
+
+	// dirty lists the partitions that have (or recently had) an open
+	// batch, so flush passes visit only those instead of locking all P
+	// partition locks per tick. Invariant: a partition's dirty flag is
+	// set iff its id is in this list or held by an in-progress flush
+	// pass (which either clears the flag or requeues the id). dirtySpare
+	// is the double buffer that keeps takeDirty/recycleDirty
+	// allocation-free at steady state.
+	dirtyMu    sync.Mutex
+	dirty      []uint32
+	dirtySpare []uint32
 
 	devices    []*gpu.Device
 	devBufs    []*gpu.Buffer[bitvec.Vector]
@@ -120,9 +141,18 @@ type index struct {
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("tagmatch: engine closed")
 
+// ErrBatchSizeTooLarge is returned by New for Config.BatchSize > 256.
+// Query ids within a batch are 8-bit in the packed result layout
+// (§3.3.1) and throughout the reduce stage, so a larger batch size
+// would silently alias query indices and corrupt results.
+var ErrBatchSizeTooLarge = errors.New("tagmatch: BatchSize exceeds 256 (query ids within a batch are 8-bit)")
+
 // New creates an engine. The engine starts with an empty database; call
 // AddSet then Consolidate before matching.
 func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	e := &Engine{
 		cfg:      cfg,
@@ -136,6 +166,7 @@ func New(cfg Config) (*Engine, error) {
 		}),
 	}
 	e.drainCond = sync.NewCond(&e.drainMu)
+	e.pools.disabled = cfg.DisablePooling
 	e.idx.Store(&index{pt: &partitionTable{}})
 	e.registerGauges()
 
@@ -183,6 +214,15 @@ func (e *Engine) registerGauges() {
 	e.obs.RegisterGauge("tagmatch_staged_ops",
 		"Staged add/remove operations awaiting Consolidate.",
 		nil, func() float64 { return float64(e.PendingOps()) })
+	e.obs.RegisterGauge("tagmatch_dirty_partitions",
+		"Partitions with an open (unflushed) batch awaiting a flush visit.",
+		nil, func() float64 {
+			idx := e.idx.Load()
+			idx.dirtyMu.Lock()
+			n := len(idx.dirty)
+			idx.dirtyMu.Unlock()
+			return float64(n)
+		})
 	e.obs.RegisterGauge("tagmatch_streams_idle",
 		"GPU streams currently idle in the acquisition pools.",
 		nil, func() float64 {
@@ -462,7 +502,7 @@ func (e *Engine) uploadToDevices(idx *index) error {
 				}
 				return err
 			}
-			sc := &streamCtx{dev: d, stream: s}
+			sc := &streamCtx{dev: d, stream: s, hdrHost: make([]uint32, resHeaderWords)}
 			sc.qbuf, err = gpu.Alloc[bitvec.Vector](dev, e.cfg.BatchSize)
 			if err == nil {
 				sc.hdr, err = gpu.Alloc[uint32](dev, resHeaderWords)

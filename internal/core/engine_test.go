@@ -432,7 +432,9 @@ func TestEngineConsolidateUnderLoad(t *testing.T) {
 	queries := db.makeQueries(500, 46)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
+	feederDone := make(chan struct{})
 	go func() {
+		defer close(feederDone)
 		for i := 0; ; i++ {
 			select {
 			case <-stop:
@@ -458,6 +460,10 @@ func TestEngineConsolidateUnderLoad(t *testing.T) {
 		}
 	}
 	close(stop)
+	// Join the feeder before draining: a submission concurrent with Drain
+	// may legitimately miss the flush (and, with no batch timeout, park in
+	// an open batch until the next one), and wg.Add must not race wg.Wait.
+	<-feederDone
 	e.Drain()
 	wg.Wait()
 

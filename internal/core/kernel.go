@@ -28,6 +28,11 @@ const (
 	resHeaderWords   = 2  // header buffer: [pair counter, overflow flag]
 	bytesPerGroup    = 20 // 4 query-id bytes + 4×4 set-id bytes
 	splitHeaderWords = 2  // split-layout ablation: counter + overflow
+
+	// maxBatchSize bounds Config.BatchSize: query ids within a batch are
+	// uint8 throughout the kernels and the reduce stage, so a larger
+	// batch would alias query indices. Config validation enforces it.
+	maxBatchSize = 256
 )
 
 // pairBufBytes returns the byte size of a packed pair buffer holding up
@@ -236,7 +241,9 @@ func splitMatchKernelAt(
 // a GPU result buffer overflows. It applies the same block-prefix
 // shortcut over runs of blockDim lexicographically sorted sets, and
 // reports prefilter effectiveness through pf (may be nil) with one
-// atomic update per batch.
+// atomic update per batch. qScratch is an optional reusable buffer for
+// the per-block surviving-query list (pass nil to allocate); the
+// possibly-grown buffer is returned for the caller to keep.
 func cpuMatchBatch(
 	sets []bitvec.Vector, // the partition's slice of the tagset table
 	globalBase int, // global set id of sets[0]
@@ -244,8 +251,9 @@ func cpuMatchBatch(
 	blockDim int,
 	prefilter bool,
 	pf *obs.PartitionCounters,
+	qScratch []uint8,
 	visit func(q uint8, s uint32),
-) {
+) []uint8 {
 	if blockDim <= 0 {
 		blockDim = 256
 	}
@@ -256,7 +264,10 @@ func cpuMatchBatch(
 			pf.PrefilterPruned.Add(pfPruned)
 		}()
 	}
-	qIdx := make([]uint8, 0, len(queries))
+	qIdx := qScratch[:0]
+	if cap(qIdx) < len(queries) {
+		qIdx = make([]uint8, 0, max(len(queries), maxBatchSize))
+	}
 	for blk := 0; blk < len(sets); blk += blockDim {
 		end := min(blk+blockDim, len(sets))
 		block := sets[blk:end]
@@ -288,4 +299,5 @@ func cpuMatchBatch(
 			}
 		}
 	}
+	return qIdx
 }

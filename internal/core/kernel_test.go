@@ -152,7 +152,7 @@ func TestCPUMatchBatchMatchesBruteForce(t *testing.T) {
 	want := bruteForcePairs(sets, 1000, queries)
 	for _, prefilter := range []bool{true, false} {
 		var got []pair
-		cpuMatchBatch(sets, 1000, queries, 256, prefilter, nil, func(q uint8, s uint32) {
+		cpuMatchBatch(sets, 1000, queries, 256, prefilter, nil, nil, func(q uint8, s uint32) {
 			got = append(got, pair{q, s})
 		})
 		sortPairs(got)
@@ -169,7 +169,7 @@ func TestCPUMatchBatchMatchesBruteForce(t *testing.T) {
 
 func TestCPUMatchBatchEmpty(t *testing.T) {
 	called := false
-	cpuMatchBatch(nil, 0, []bitvec.Vector{bitvec.FromOnes(1)}, 256, true, nil, func(uint8, uint32) { called = true })
+	cpuMatchBatch(nil, 0, []bitvec.Vector{bitvec.FromOnes(1)}, 256, true, nil, nil, func(uint8, uint32) { called = true })
 	if called {
 		t.Fatal("visit called for empty partition")
 	}

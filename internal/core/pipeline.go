@@ -39,7 +39,9 @@ type query struct {
 }
 
 // finish decrements the outstanding-batch counter and runs the merge
-// stage (§3.4) when it reaches zero.
+// stage (§3.4) when it reaches zero. The goroutine that reaches zero
+// owns the query exclusively — every batch's last access to a query is
+// its finish call — so it also recycles the struct.
 func (q *query) finish(e *Engine, n int32) {
 	if q.pending.Add(-n) != 0 {
 		return
@@ -64,8 +66,10 @@ func (q *query) finish(e *Engine, n int32) {
 		e.obs.E2E.ObserveDuration(latency)
 	}
 	q.trace.Done(int64(len(keys)))
-	if q.done != nil {
-		q.done(MatchResult{Keys: keys, Latency: latency})
+	done := q.done
+	e.pools.putQuery(q)
+	if done != nil {
+		done(MatchResult{Keys: keys, Latency: latency})
 	}
 	e.notifyProgress()
 }
@@ -113,16 +117,25 @@ type openBatch struct {
 // streamCtx bundles a GPU stream with its per-stream device buffers: the
 // query batch buffer, the result header (pair counter + overflow flag),
 // the packed pair buffer, and — for the split-layout ablation — the two
-// separate id arrays.
+// separate id arrays. hdrHost is the reusable host staging slot for the
+// D2H header copy: the stream executes ops in FIFO order and the batch's
+// callback consumes the header before the stream is released, so one
+// slot per stream suffices and no per-batch staging is allocated.
 type streamCtx struct {
-	dev    int
-	stream *gpu.Stream
-	qbuf   *gpu.Buffer[bitvec.Vector]
-	hdr    *gpu.Buffer[uint32]
-	pairs  *gpu.Buffer[byte]
-	splitQ *gpu.Buffer[uint32]
-	splitS *gpu.Buffer[uint32]
+	dev     int
+	stream  *gpu.Stream
+	qbuf    *gpu.Buffer[bitvec.Vector]
+	hdr     *gpu.Buffer[uint32]
+	pairs   *gpu.Buffer[byte]
+	splitQ  *gpu.Buffer[uint32]
+	splitS  *gpu.Buffer[uint32]
+	hdrHost []uint32
 }
+
+// hdrZero is the shared H2D source that resets a device-side result
+// header. Never written after init, so every stream may copy from it
+// concurrently.
+var hdrZero = []uint32{0, 0}
 
 func (sc *streamCtx) free() {
 	sc.qbuf.Free()
@@ -132,14 +145,26 @@ func (sc *streamCtx) free() {
 	sc.splitS.Free()
 }
 
+// payloadKind selects the payload source the reduce stage decodes.
+type payloadKind uint8
+
+const (
+	// payloadCPU: no device payload; reduce runs the subset match on the
+	// host (CPU-only mode, or the overflow fallback).
+	payloadCPU payloadKind = iota
+	payloadPacked
+	payloadSplit
+)
+
 // batchResult carries a completed subset-match batch to the key-lookup
-// stage. Exactly one of pairsPacked / (qIDs,sIDs) / overflow is the
-// payload source.
+// stage. kind selects the payload source; the payload slices keep their
+// backing arrays across pool reuse (lengths are set per batch).
 type batchResult struct {
 	idx      *index
 	batch    *openBatch
 	count    int
-	overflow bool
+	overflow bool // GPU result buffer overflowed (kind is payloadCPU)
+	kind     payloadKind
 	packed   []byte   // packed layout payload
 	qIDs     []uint32 // split layout payload
 	sIDs     []uint32
@@ -181,8 +206,10 @@ func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool
 		return ErrClosed
 	}
 	e.submitMu.RLock()
-	idx := e.idx.Load()
-	q := &query{sig: sig, tags: tags, unique: unique, start: time.Now(), idx: idx, done: done}
+	q := e.pools.getQuery()
+	q.sig, q.tags, q.unique, q.done = sig, tags, unique, done
+	q.start = time.Now()
+	q.idx = e.idx.Load()
 	q.trace = e.obs.Tracer.Maybe()
 	q.pending.Store(1) // pre-processing guard
 	e.submitted.Add(1)
@@ -215,19 +242,31 @@ func (e *Engine) blockingMatch(sig bitvec.Vector, tags map[string]struct{}, uniq
 	if err := e.submit(sig, tags, unique, func(r MatchResult) { ch <- r }); err != nil {
 		return nil, err
 	}
-	// Nudge the pipeline until the result arrives: without background
-	// traffic the query's batches would otherwise wait for their flush
-	// timeout, and a single flush could race ahead of the pre-process
-	// stage enqueuing the query.
-	tick := time.NewTicker(500 * time.Microsecond)
-	defer tick.Stop()
+	// Drive the pipeline event-driven until the result arrives, riding
+	// the same progress-epoch condition variable as Drain: without
+	// background traffic the query's batches would otherwise wait for
+	// their flush timeout, and a single flush could race ahead of the
+	// pre-process stage enqueuing the query. Each progress event (the
+	// query finishing pre-processing, a batch leaving reduce) wakes the
+	// waiter, which re-flushes; the epoch check closes the lost-wakeup
+	// window where a batch is created while the waiter is inside
+	// flushAll. No polling ticker: an idle blocking match costs no
+	// flushAll sweeps beyond the ones progress events trigger.
+	e.drainWaiters.Add(1)
+	defer e.drainWaiters.Add(-1)
 	for {
+		ep := e.progressEpoch.Load()
+		e.flushAll(e.idx.Load())
 		select {
 		case r := <-ch:
 			return r.Keys, nil
-		case <-tick.C:
-			e.flushAll(e.idx.Load())
+		default:
 		}
+		e.drainMu.Lock()
+		if e.progressEpoch.Load() == ep {
+			e.drainCond.Wait()
+		}
+		e.drainMu.Unlock()
 	}
 }
 
@@ -266,16 +305,18 @@ func (e *Engine) preprocessWorker() {
 }
 
 // appendToBatch adds the query to the partition's open batch and returns
-// the batch if it just became full.
+// the batch if it just became full. Opening a batch marks the partition
+// dirty so flush passes visit it.
 func (e *Engine) appendToBatch(idx *index, pid uint32, q *query) *openBatch {
 	p := &idx.parts[pid]
 	idx.locks[pid].Lock()
 	if p.batch == nil {
-		p.batch = &openBatch{
-			pid:     pid,
-			queries: make([]*query, 0, e.cfg.BatchSize),
-			sigs:    make([]bitvec.Vector, 0, e.cfg.BatchSize),
-			created: time.Now(),
+		p.batch = e.pools.getBatch(pid, e.cfg.BatchSize)
+		if !p.dirty {
+			// Mark inside the partition lock: flag and list membership
+			// stay in lock step, so the list never holds duplicates.
+			p.dirty = true
+			idx.markDirty(pid)
 		}
 	}
 	b := p.batch
@@ -284,6 +325,8 @@ func (e *Engine) appendToBatch(idx *index, pid uint32, q *query) *openBatch {
 	fill := len(b.queries)
 	full := fill >= e.cfg.BatchSize
 	if full {
+		// The partition stays dirty (its id stays listed) until the next
+		// flush visit notices the batch is gone and clears the flag.
 		p.batch = nil
 	}
 	idx.locks[pid].Unlock()
@@ -299,22 +342,77 @@ func (e *Engine) appendToBatch(idx *index, pid uint32, q *query) *openBatch {
 	return nil
 }
 
-// flushAll dispatches every open batch regardless of fill level.
+// markDirty appends pid to the dirty-partition list. Callers hold the
+// partition's lock; the lock order partition-lock → dirtyMu is safe
+// because no path acquires a partition lock while holding dirtyMu.
+func (idx *index) markDirty(pid uint32) {
+	idx.dirtyMu.Lock()
+	idx.dirty = append(idx.dirty, pid)
+	idx.dirtyMu.Unlock()
+}
+
+// takeDirty detaches the current dirty-partition list for a flush pass,
+// installing the spare buffer so concurrent appends keep recording. The
+// caller must hand the returned slice to recycleDirty when done.
+func (idx *index) takeDirty() []uint32 {
+	idx.dirtyMu.Lock()
+	pids := idx.dirty
+	if idx.dirtySpare != nil {
+		idx.dirty = idx.dirtySpare[:0]
+		idx.dirtySpare = nil
+	} else {
+		idx.dirty = nil
+	}
+	idx.dirtyMu.Unlock()
+	return pids
+}
+
+// requeueDirty re-lists partitions whose batches were too young to
+// flush; their dirty flags are still set.
+func (idx *index) requeueDirty(pids []uint32) {
+	if len(pids) == 0 {
+		return
+	}
+	idx.dirtyMu.Lock()
+	idx.dirty = append(idx.dirty, pids...)
+	idx.dirtyMu.Unlock()
+}
+
+// recycleDirty returns a taken list's backing array for reuse.
+func (idx *index) recycleDirty(pids []uint32) {
+	if cap(pids) == 0 {
+		return
+	}
+	idx.dirtyMu.Lock()
+	if idx.dirtySpare == nil {
+		idx.dirtySpare = pids[:0]
+	}
+	idx.dirtyMu.Unlock()
+}
+
+// flushAll dispatches every open batch regardless of fill level. Only
+// dirty partitions are visited: with P partitions in the thousands and
+// a handful seeing traffic, sweeping all P per call would dominate the
+// flush path (drain, blocking matches) with uncontended-lock traffic.
 func (e *Engine) flushAll(idx *index) {
-	for pid := range idx.parts {
+	pids := idx.takeDirty()
+	for _, pid := range pids {
 		p := &idx.parts[pid]
 		idx.locks[pid].Lock()
 		b := p.batch
 		p.batch = nil
+		p.dirty = false
 		idx.locks[pid].Unlock()
 		if b != nil {
 			e.dispatch(idx, b, dispatchFlush)
 		}
 	}
+	idx.recycleDirty(pids)
 }
 
 // flusher enforces the batch timeout (§3): partially filled batches are
-// pushed through the pipeline once they age past BatchTimeout.
+// pushed through the pipeline once they age past BatchTimeout. Each tick
+// visits only dirty partitions; too-young batches are requeued.
 func (e *Engine) flusher() {
 	defer close(e.flushDone)
 	tick := e.cfg.BatchTimeout / 4
@@ -329,13 +427,21 @@ func (e *Engine) flusher() {
 			return
 		case now := <-t.C:
 			idx := e.idx.Load()
-			for pid := range idx.parts {
+			pids := idx.takeDirty()
+			keep := pids[:0] // compact in place: write index trails read index
+			for _, pid := range pids {
 				p := &idx.parts[pid]
 				idx.locks[pid].Lock()
 				var b *openBatch
-				if p.batch != nil && now.Sub(p.batch.created) >= e.cfg.BatchTimeout {
+				switch {
+				case p.batch == nil:
+					p.dirty = false // stale entry: batch already dispatched full
+				case now.Sub(p.batch.created) >= e.cfg.BatchTimeout:
 					b = p.batch
 					p.batch = nil
+					p.dirty = false
+				default:
+					keep = append(keep, pid) // too young; stays dirty
 				}
 				idx.locks[pid].Unlock()
 				if b != nil {
@@ -343,6 +449,10 @@ func (e *Engine) flusher() {
 					e.dispatch(idx, b, dispatchTimeout)
 				}
 			}
+			// requeueDirty copies keep's values into the live list, so
+			// the taken buffer (which keep aliases) is free to recycle.
+			idx.requeueDirty(keep)
+			idx.recycleDirty(pids)
 		}
 	}
 }
@@ -387,7 +497,8 @@ func (e *Engine) dispatch(idx *index, b *openBatch, reason dispatchReason) {
 // cpuDispatch executes the batch's subset match inline and forwards the
 // result to the reduce stage.
 func (e *Engine) cpuDispatch(idx *index, b *openBatch) {
-	res := &batchResult{idx: idx, batch: b, overflow: true} // reduce runs the CPU match
+	res := e.pools.getResult()
+	res.idx, res.batch, res.kind = idx, b, payloadCPU // reduce runs the CPU match
 	e.reduceCh <- res
 }
 
@@ -425,19 +536,22 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 
 	if e.cfg.SplitOutputLayout {
 		// Ablation: two separate id arrays, two result copies.
-		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, []uint32{0, 0})
+		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, hdrZero)
 		gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
 		sc.stream.LaunchAsync(grid, splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
 			sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
 			e.partCounters(b.pid)))
-		hdrHost := make([]uint32, splitHeaderWords)
-		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, hdrHost, 0)
+		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, sc.hdrHost, 0)
 		sc.stream.Callback(func() {
-			count, overflow := clampCount(hdrHost[0], hdrHost[1], e.cfg.MaxPairsPerBatch)
-			res := &batchResult{idx: idx, batch: b, count: count, overflow: overflow}
+			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
+			res := e.pools.getResult()
+			res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
+			if !overflow {
+				res.kind = payloadSplit // payloadCPU (re-run on host) on overflow
+			}
 			if !overflow && count > 0 {
-				res.qIDs = make([]uint32, count)
-				res.sIDs = make([]uint32, count)
+				res.qIDs = growU32(res.qIDs, count)
+				res.sIDs = growU32(res.sIDs, count)
 				// Two exact-size copies: the cost the packed layout avoids.
 				if err := sc.splitQ.CopyFromDevice(res.qIDs, splitHeaderWords); err != nil {
 					panic(err)
@@ -454,7 +568,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 
 	// Packed layout (§3.3.1). Zero the device-side header (the analogue
 	// of cudaMemsetAsync), copy the batch, launch, then transfer results.
-	gpu.CopyToDeviceAsync(sc.stream, sc.hdr, 0, []uint32{0, 0})
+	gpu.CopyToDeviceAsync(sc.stream, sc.hdr, 0, hdrZero)
 	gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
 	sc.stream.LaunchAsync(grid, matchKernelAt(buf, partOff, int(p.n), globalBase,
 		sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
@@ -464,13 +578,16 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		// Ablation: the naive scheme — copy the 4-byte size, then issue
 		// a second exact-size copy (an extra paid transfer and an extra
 		// synchronization point per batch).
-		hdrHost := make([]uint32, resHeaderWords)
-		gpu.CopyFromDeviceAsync(sc.stream, sc.hdr, hdrHost, 0)
+		gpu.CopyFromDeviceAsync(sc.stream, sc.hdr, sc.hdrHost, 0)
 		sc.stream.Callback(func() {
-			count, overflow := clampCount(hdrHost[0], hdrHost[1], e.cfg.MaxPairsPerBatch)
-			res := &batchResult{idx: idx, batch: b, count: count, overflow: overflow}
+			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
+			res := e.pools.getResult()
+			res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
+			if !overflow {
+				res.kind = payloadPacked
+			}
 			if !overflow && count > 0 {
-				res.packed = make([]byte, ((count+3)/4)*20)
+				res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
 				if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
 					panic(err)
 				}
@@ -492,9 +609,13 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		rawCount := atomic.LoadUint32(&sc.hdr.Data()[0])
 		rawOver := atomic.LoadUint32(&sc.hdr.Data()[1])
 		count, overflow := clampCount(rawCount, rawOver, e.cfg.MaxPairsPerBatch)
-		res := &batchResult{idx: idx, batch: b, count: count, overflow: overflow}
+		res := e.pools.getResult()
+		res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
+		if !overflow {
+			res.kind = payloadPacked
+		}
 		if !overflow && count > 0 {
-			res.packed = make([]byte, ((count+3)/4)*20)
+			res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
 			if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
 				panic(err)
 			}
@@ -555,46 +676,71 @@ func (e *Engine) reduceOne(res *batchResult) {
 		}
 	}()
 
+	// Batch-local reduce: keys accumulate lock-free in per-query-slot
+	// scratch (query ids are dense uint8 batch indices), then flush to
+	// each touched query under ONE lock acquisition per (query, batch)
+	// — not one per (query, set) pair. With selective queries matching
+	// hundreds of sets in a partition, per-pair locking made the query
+	// mutex the reduce stage's contention point.
+	sc := e.pools.getScratch(len(b.queries))
 	var nPairs int64 // accumulated locally; one atomic add per batch
 	visit := func(qi uint8, setID uint32) {
 		nPairs++
-		q := b.queries[qi]
 		lo, hi := idx.keyOff[setID], idx.keyOff[setID+1]
-		q.mu.Lock()
-		if q.tags != nil && idx.keyTags != nil {
+		ks := sc.keys[qi]
+		if idx.keyTags != nil && b.queries[qi].tags != nil {
 			// Exact verification (§3): drop Bloom false positives by
-			// re-checking the stored tags against the query's tag set.
+			// re-checking the stored tags against the query's tag set
+			// (immutable after submit, so no lock needed here).
 			for j := lo; j < hi; j++ {
-				if tagsContained(idx.keyTags[j], q.tags) {
-					q.keys = append(q.keys, idx.keys[j])
+				if tagsContained(idx.keyTags[j], b.queries[qi].tags) {
+					ks = append(ks, idx.keys[j])
 				}
 			}
 		} else {
-			q.keys = append(q.keys, idx.keys[lo:hi]...)
+			ks = append(ks, idx.keys[lo:hi]...)
 		}
-		q.mu.Unlock()
+		if len(ks) > 0 && len(sc.keys[qi]) == 0 {
+			sc.touched = append(sc.touched, qi)
+		}
+		sc.keys[qi] = ks
 	}
 
 	pc := e.partCounters(b.pid)
-	switch {
-	case res.overflow:
+	switch res.kind {
+	case payloadCPU:
 		// GPU result buffer overflowed (or CPU-only mode): run the
 		// batch's subset match on the host for correctness.
-		if len(idx.devices) > 0 {
+		if res.overflow {
 			e.overflows.Add(1)
 			if pc != nil {
 				pc.Overflows.Add(1)
 			}
 		}
 		sets := idx.sets[p.off : p.off+p.n]
-		cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim, !e.cfg.DisablePrefilter, pc, visit)
-	case res.packed != nil:
+		sc.qIdx = cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim,
+			!e.cfg.DisablePrefilter, pc, sc.qIdx, visit)
+	case payloadPacked:
 		decodePacked(res.packed, res.count, visit)
-	case res.qIDs != nil:
+	case payloadSplit:
 		for i := 0; i < res.count; i++ {
 			visit(uint8(res.qIDs[i]), res.sIDs[i])
 		}
 	}
+
+	// Flush the scratch: one lock acquisition per touched query.
+	for _, qi := range sc.touched {
+		q := b.queries[qi]
+		ks := sc.keys[qi]
+		q.mu.Lock()
+		q.keys = append(q.keys, ks...)
+		q.mu.Unlock()
+		sc.keys[qi] = ks[:0]
+	}
+	e.queryLockAcqs.Add(int64(len(sc.touched)))
+	sc.touched = sc.touched[:0]
+	e.pools.putScratch(sc)
+
 	e.pairs.Add(nPairs)
 	if pc != nil {
 		pc.Pairs.Add(nPairs)
@@ -610,6 +756,8 @@ func (e *Engine) reduceOne(res *batchResult) {
 	for _, q := range b.queries {
 		q.finish(e, 1)
 	}
+	e.pools.putBatch(b)
+	e.pools.putResult(res)
 	e.inflightBatches.Add(-1)
 	e.notifyProgress()
 }

@@ -104,7 +104,7 @@ func TestPartitionTableAgainstBruteForce(t *testing.T) {
 	}
 }
 
-func BenchmarkPartitionTableLookup(b *testing.B) {
+func BenchmarkPartitionLookup(b *testing.B) {
 	sets := randomSets(200000, 5, 13)
 	specs := balancedPartition(sets, 1000)
 	parts := make([]partition, len(specs))
@@ -113,6 +113,7 @@ func BenchmarkPartitionTableLookup(b *testing.B) {
 	}
 	pt, _ := buildPartitionTable(parts)
 	queries := randomSets(1024, 8, 14)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var dst []uint32
 	for i := 0; i < b.N; i++ {

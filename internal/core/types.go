@@ -36,7 +36,9 @@ type Config struct {
 
 	// BatchSize is the number of queries per GPU batch. Query ids inside
 	// a batch are 8-bit in the packed result layout (§3.3.1), so the
-	// batch size may not exceed 256.
+	// batch size may not exceed 256: a larger batch would silently alias
+	// query indices and corrupt results. New rejects larger values with
+	// ErrBatchSizeTooLarge.
 	BatchSize int
 
 	// BatchTimeout flushes partially filled batches after this delay
@@ -119,6 +121,13 @@ type Config struct {
 	// against this configuration; production deployments should leave
 	// observability on (the overhead is a few percent at most).
 	DisableObservability bool
+
+	// DisablePooling turns off the hot-path buffer recycling (query
+	// structs, batches, result carriers, reduce scratch), allocating
+	// fresh objects for every query and batch instead. Used by the
+	// hotpath experiment to quantify the pooling win; production
+	// deployments should leave pooling on (the default).
+	DisablePooling bool
 }
 
 // DefaultConfig returns the paper-faithful defaults for a database of
@@ -140,15 +149,22 @@ func DefaultConfig(dbSize int, devices ...*gpu.Device) Config {
 	}
 }
 
+// validate rejects configurations that would corrupt results rather
+// than merely perform badly. It runs before applyDefaults, on the
+// caller's values.
+func (c *Config) validate() error {
+	if c.BatchSize > maxBatchSize {
+		return ErrBatchSizeTooLarge
+	}
+	return nil
+}
+
 func (c *Config) applyDefaults() {
 	if c.MaxPartitionSize <= 0 {
 		c.MaxPartitionSize = 1024
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
-	}
-	if c.BatchSize > 256 {
-		c.BatchSize = 256 // 8-bit query ids in the packed layout
 	}
 	if c.Threads <= 0 {
 		c.Threads = 4
@@ -218,4 +234,11 @@ type partition struct {
 	devOff uint32 // offset in the owning device's shard (partitioned mode)
 
 	batch *openBatch // current filling batch; guarded by the partition lock
+
+	// dirty mirrors the partition's membership in the index's
+	// dirty-partition list (guarded by the partition lock): true while
+	// the partition has — or recently had — an open batch a flush pass
+	// must visit. Keeps flushAll and the flusher tick from sweeping all
+	// P partitions when only a handful have traffic.
+	dirty bool
 }

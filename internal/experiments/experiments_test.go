@@ -215,6 +215,21 @@ func TestAblationGPUOnlySmoke(t *testing.T) {
 	checkTable(t, AblationGPUOnly(tinyParams()), 2)
 }
 
+func TestHotpathSmoke(t *testing.T) {
+	p := tinyParams()
+	p.Queries = 600
+	tb, r := Hotpath(p)
+	checkTable(t, tb, 4)
+	if len(r.Runs) != 4 {
+		t.Fatalf("hotpath runs = %d, want 4 (cpu/gpu x pooling on/off)", len(r.Runs))
+	}
+	for _, run := range r.Runs {
+		if run.QPS <= 0 || run.P99Us < run.P50Us {
+			t.Errorf("%s pooling=%v: qps=%v p50=%v p99=%v", run.Config, run.Pooling, run.QPS, run.P50Us, run.P99Us)
+		}
+	}
+}
+
 func TestTablePrintFormatting(t *testing.T) {
 	tb := &Table{ID: "x", Title: "demo", Cols: []string{"a", "b"}}
 	tb.Add("row with a rather long label", 1234567, 0.0021)

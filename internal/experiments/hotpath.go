@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/core"
+	"tagmatch/internal/obs"
+)
+
+// HotpathRun is one (engine config, pooling) cell of the hot-path
+// comparison: throughput, end-to-end latency percentiles from the obs
+// histograms, and allocator pressure per query.
+type HotpathRun struct {
+	Config         string    `json:"config"` // "cpu" or "gpu"
+	Pooling        bool      `json:"pooling"`
+	QPS            float64   `json:"qps"`
+	P50Us          float64   `json:"p50_us"`
+	P99Us          float64   `json:"p99_us"`
+	AllocsPerQuery float64   `json:"allocs_per_query"`
+	BytesPerQuery  float64   `json:"bytes_per_query"`
+	RunsQPS        []float64 `json:"runs_qps"`
+}
+
+// HotpathResult is the JSON shape of the hot-path before/after
+// comparison (BENCH_hotpath.json): pooling on (the default) vs. off
+// (DisablePooling) across a CPU-only and a simulated-GPU engine.
+type HotpathResult struct {
+	Runs    []HotpathRun `json:"runs"`
+	Queries int          `json:"queries"`
+	GPUs    int          `json:"gpus"`
+	Threads int          `json:"threads"`
+}
+
+// hotpathSample is one measured run of one engine.
+type hotpathSample struct {
+	qps          float64
+	p50us, p99us float64
+	allocsPerQ   float64
+	bytesPerQ    float64
+}
+
+// histDelta subtracts an earlier histogram snapshot from a later one of
+// the same histogram, so percentiles cover only the samples recorded in
+// between (buckets are per-bucket counts, monotone over time). Max
+// cannot be windowed and is carried from the later snapshot; it only
+// shows through Quantile in the topmost occupied bucket.
+func histDelta(before, after obs.HistSnapshot) obs.HistSnapshot {
+	prev := make(map[int64]uint64, len(before.Buckets))
+	for _, b := range before.Buckets {
+		prev[b.Upper] = b.Count
+	}
+	d := obs.HistSnapshot{
+		Count: after.Count - before.Count,
+		Sum:   after.Sum - before.Sum,
+		Max:   after.Max,
+	}
+	for _, b := range after.Buckets {
+		if n := b.Count - prev[b.Upper]; n > 0 {
+			d.Buckets = append(d.Buckets, obs.Bucket{Upper: b.Upper, Count: n})
+		}
+	}
+	return d
+}
+
+// measureHotpath drives n queries through the engine and reports
+// throughput, the E2E latency percentiles of exactly that window (via
+// histogram snapshot deltas), and allocations per query (via mallocs /
+// heap-bytes counter deltas, which include every pipeline goroutine).
+func measureHotpath(eng *core.Engine, queries []bitvec.Vector, n int) hotpathSample {
+	warm := min(n/8, 1000)
+	var warmWg sync.WaitGroup
+	warmWg.Add(warm)
+	for i := 0; i < warm; i++ {
+		if err := eng.SubmitSignature(queries[i%len(queries)], false, func(core.MatchResult) {
+			warmWg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	eng.Drain()
+	warmWg.Wait()
+
+	e2e := eng.Obs().StageHistogram(obs.StageE2E)
+	before := e2e.Snapshot()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := eng.SubmitSignature(queries[i%len(queries)], false, func(core.MatchResult) {
+			wg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	eng.Drain()
+	wg.Wait()
+	el := time.Since(start)
+
+	runtime.ReadMemStats(&msAfter)
+	window := histDelta(before, e2e.Snapshot())
+	return hotpathSample{
+		qps:        float64(n) / el.Seconds(),
+		p50us:      float64(window.Quantile(0.50)) / 1e3,
+		p99us:      float64(window.Quantile(0.99)) / 1e3,
+		allocsPerQ: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n),
+		bytesPerQ:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(n),
+	}
+}
+
+// medianByQPS returns the sample with the median throughput, so the
+// reported latency/alloc numbers come from one coherent run rather than
+// mixing fields across runs.
+func medianByQPS(samples []hotpathSample) hotpathSample {
+	sorted := append([]hotpathSample(nil), samples...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].qps < sorted[j-1].qps; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+// Hotpath measures the steady-state submit→complete path with buffer
+// pooling on (the default) and off (Config.DisablePooling), on a
+// CPU-only engine and on a simulated-GPU engine. Runs alternate
+// pooled/unpooled so host drift hits both configurations equally;
+// medians of repeated runs are reported.
+func Hotpath(p Params) (*Table, *HotpathResult) {
+	ds := BuildDataset(p)
+	sigs, keys := ds.Slice(0.25)
+	queries := ds.Queries(4096, 0.25, -1, p.Seed+3000)
+
+	const reps = 5
+	res := &HotpathResult{Queries: p.Queries, GPUs: p.GPUs, Threads: p.Threads}
+	t := &Table{
+		ID:    "hotpath",
+		Title: "Hot-path pooling: throughput, latency, allocator pressure",
+		Cols:  []string{"Kq/s", "p50 us", "p99 us", "allocs/q", "B/q"},
+	}
+
+	for _, cfg := range []struct {
+		name string
+		gpus int
+	}{{"cpu", 0}, {"gpu", p.GPUs}} {
+		build := func(disablePooling bool) (*core.Engine, func()) {
+			eng, devs, err := BuildEngine(EngineSpec{
+				Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: cfg.gpus,
+				MaxP:   ds.BaseMaxP(),
+				Mutate: func(c *core.Config) { c.DisablePooling = disablePooling },
+			})
+			if err != nil {
+				panic(err)
+			}
+			return eng, func() { eng.Close(); closeDevices(devs) }
+		}
+		engOn, closeOn := build(false)
+		engOff, closeOff := build(true)
+		var on, off []hotpathSample
+		for rep := 0; rep < reps; rep++ {
+			on = append(on, measureHotpath(engOn, queries, p.Queries))
+			off = append(off, measureHotpath(engOff, queries, p.Queries))
+		}
+		closeOn()
+		closeOff()
+
+		for _, side := range []struct {
+			pooling bool
+			samples []hotpathSample
+		}{{true, on}, {false, off}} {
+			med := medianByQPS(side.samples)
+			run := HotpathRun{
+				Config:         cfg.name,
+				Pooling:        side.pooling,
+				QPS:            med.qps,
+				P50Us:          med.p50us,
+				P99Us:          med.p99us,
+				AllocsPerQuery: med.allocsPerQ,
+				BytesPerQuery:  med.bytesPerQ,
+			}
+			for _, s := range side.samples {
+				run.RunsQPS = append(run.RunsQPS, s.qps)
+			}
+			res.Runs = append(res.Runs, run)
+			label := fmt.Sprintf("%s, pooling %s", cfg.name, map[bool]string{true: "on", false: "off"}[side.pooling])
+			t.Add(label, med.qps/1e3, med.p50us, med.p99us, med.allocsPerQ, med.bytesPerQ)
+		}
+		onMed, offMed := medianByQPS(on), medianByQPS(off)
+		t.Note("%s: pooling %+.1f%% qps, allocs/q %.1f -> %.1f, p99 %s -> %s; median of %d runs",
+			cfg.name, (onMed.qps-offMed.qps)/offMed.qps*100,
+			offMed.allocsPerQ, onMed.allocsPerQ,
+			time.Duration(offMed.p99us*1e3).Round(time.Microsecond),
+			time.Duration(onMed.p99us*1e3).Round(time.Microsecond), reps)
+	}
+	return t, res
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *HotpathResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -542,7 +542,12 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 			sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
 			e.partCounters(b.pid)))
 		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, sc.hdrHost, 0)
-		sc.stream.Callback(func() {
+		sc.stream.CallbackErr(func(opErr error) {
+			if opErr != nil {
+				release()
+				e.batchFault(idx, b, sc, opErr)
+				return
+			}
 			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
 			res := e.pools.getResult()
 			res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
@@ -553,13 +558,18 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 				res.qIDs = growU32(res.qIDs, count)
 				res.sIDs = growU32(res.sIDs, count)
 				// Two exact-size copies: the cost the packed layout avoids.
-				if err := sc.splitQ.CopyFromDevice(res.qIDs, splitHeaderWords); err != nil {
-					panic(err)
+				err := sc.splitQ.CopyFromDevice(res.qIDs, splitHeaderWords)
+				if err == nil {
+					err = sc.splitS.CopyFromDevice(res.sIDs, 0)
 				}
-				if err := sc.splitS.CopyFromDevice(res.sIDs, 0); err != nil {
-					panic(err)
+				if err != nil {
+					e.pools.putResult(res)
+					release()
+					e.batchFault(idx, b, sc, err)
+					return
 				}
 			}
+			e.batchOK(sc)
 			release()
 			e.reduceCh <- res
 		})
@@ -579,7 +589,12 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		// a second exact-size copy (an extra paid transfer and an extra
 		// synchronization point per batch).
 		gpu.CopyFromDeviceAsync(sc.stream, sc.hdr, sc.hdrHost, 0)
-		sc.stream.Callback(func() {
+		sc.stream.CallbackErr(func(opErr error) {
+			if opErr != nil {
+				release()
+				e.batchFault(idx, b, sc, opErr)
+				return
+			}
 			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
 			res := e.pools.getResult()
 			res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
@@ -589,9 +604,13 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 			if !overflow && count > 0 {
 				res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
 				if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
-					panic(err)
+					e.pools.putResult(res)
+					release()
+					e.batchFault(idx, b, sc, err)
+					return
 				}
 			}
+			e.batchOK(sc)
 			release()
 			e.reduceCh <- res
 		})
@@ -605,7 +624,12 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 	// device-side length for free — the same effect (no extra paid
 	// transfer, no extra round trip) without the cycle bookkeeping — and
 	// then issues the single exact-size copy of header + pairs.
-	sc.stream.Callback(func() {
+	sc.stream.CallbackErr(func(opErr error) {
+		if opErr != nil {
+			release()
+			e.batchFault(idx, b, sc, opErr)
+			return
+		}
 		rawCount := atomic.LoadUint32(&sc.hdr.Data()[0])
 		rawOver := atomic.LoadUint32(&sc.hdr.Data()[1])
 		count, overflow := clampCount(rawCount, rawOver, e.cfg.MaxPairsPerBatch)
@@ -617,12 +641,30 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		if !overflow && count > 0 {
 			res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
 			if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
-				panic(err)
+				e.pools.putResult(res)
+				release()
+				e.batchFault(idx, b, sc, err)
+				return
 			}
 		}
+		e.batchOK(sc)
 		release()
 		e.reduceCh <- res
 	})
+}
+
+// batchOK records a successful GPU attempt for the dispatching stream's
+// device. (Expanded by the device-health layer; the hook exists so every
+// dispatch path reports its outcome symmetrically.)
+func (e *Engine) batchOK(sc *streamCtx) {}
+
+// batchFault handles a batch whose GPU attempt failed (copy, launch, or
+// result-transfer error, including a dead device): instead of panicking,
+// the batch is re-run on the host through the same payloadCPU mechanism
+// as a result-buffer overflow, so no submitted query is ever lost. The
+// caller has already released the stream.
+func (e *Engine) batchFault(idx *index, b *openBatch, sc *streamCtx, err error) {
+	e.cpuDispatch(idx, b)
 }
 
 // tagsContained reports whether every stored tag is present in the query

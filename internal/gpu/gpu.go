@@ -293,15 +293,17 @@ func (b *BlockCtx) LaunchNested(grid Grid, kernel KernelFunc) {
 }
 
 // launch enqueues all blocks of a grid and waits for their completion.
-// It is called from a stream executor goroutine.
-func (d *Device) launch(grid Grid, kernel KernelFunc) {
+// It is called from a stream executor goroutine. It returns
+// ErrDeviceClosed on a closed device rather than panicking, so stream
+// error propagation can route the failure to the dispatching engine.
+func (d *Device) launch(grid Grid, kernel KernelFunc) error {
 	if d.closed.Load() {
-		panic(ErrDeviceClosed)
+		return ErrDeviceClosed
 	}
 	d.kernelLaunches.Add(1)
 	spinWait(d.cfg.Cost.LaunchOverhead)
 	if grid.Blocks <= 0 || grid.BlockDim <= 0 {
-		return
+		return nil
 	}
 	var done sync.WaitGroup
 	done.Add(grid.Blocks)
@@ -309,6 +311,7 @@ func (d *Device) launch(grid Grid, kernel KernelFunc) {
 		d.blockQ <- blockTask{kernel: kernel, blockIdx: blk, grid: grid, done: &done}
 	}
 	done.Wait()
+	return nil
 }
 
 // Stats returns a snapshot of the device counters.

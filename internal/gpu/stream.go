@@ -18,6 +18,14 @@ type Stream struct {
 	dev  *Device
 	ops  chan func()
 	done sync.WaitGroup // executor goroutine
+
+	// segErr accumulates the first error of the current operation
+	// segment (the ops enqueued since the last error-consuming callback).
+	// Once set, subsequent copy/launch ops in the segment are skipped —
+	// the analogue of a CUDA stream entering an error state — until
+	// CallbackErr or SynchronizeErr consumes the error. Only the executor
+	// goroutine touches it, so no synchronization is needed.
+	segErr error
 }
 
 // OpenStream opens a new stream on the device. It fails with
@@ -65,14 +73,14 @@ func (s *Stream) QueueDepth() int { return len(s.ops) }
 
 // CopyToDeviceAsync enqueues an H2D copy of src into buf at dstOff.
 // The src slice must not be modified until the operation completes
-// (Synchronize, or a later Callback).
+// (Synchronize, or a later Callback). A failed copy puts the stream into
+// an error state; see CallbackErr.
 func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T) {
 	s.ops <- func() {
-		// Errors inside asynchronous ops are programming errors
-		// (out-of-range copies); surface them loudly.
-		if err := buf.CopyToDevice(dstOff, src); err != nil {
-			panic(err)
+		if s.segErr != nil {
+			return
 		}
+		s.segErr = buf.CopyToDevice(dstOff, src)
 	}
 }
 
@@ -80,9 +88,10 @@ func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T) {
 // into dst.
 func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) {
 	s.ops <- func() {
-		if err := buf.CopyFromDevice(dst, srcOff); err != nil {
-			panic(err)
+		if s.segErr != nil {
+			return
 		}
+		s.segErr = buf.CopyFromDevice(dst, srcOff)
 	}
 }
 
@@ -90,21 +99,64 @@ func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) 
 // the kernel completes before starting the next operation in this stream,
 // while other streams keep running — the overlap TagMatch exploits.
 func (s *Stream) LaunchAsync(grid Grid, kernel KernelFunc) {
-	s.ops <- func() { s.dev.launch(grid, kernel) }
+	s.ops <- func() {
+		if s.segErr != nil {
+			return
+		}
+		s.segErr = s.dev.launch(grid, kernel)
+	}
 }
 
 // Callback enqueues a host callback that runs after all previously
 // enqueued operations complete, like cudaStreamAddCallback. TagMatch uses
 // callbacks to hand results to the key-lookup stage without a blocking
 // synchronization point.
+//
+// Callback is the error-oblivious variant: a pending segment error —
+// which for this variant can only be a programming error such as an
+// out-of-range copy — is surfaced as a panic on the executor goroutine.
+// Code that must survive device faults uses CallbackErr.
 func (s *Stream) Callback(f func()) {
-	s.ops <- f
+	s.ops <- func() {
+		if err := s.segErr; err != nil {
+			s.segErr = nil
+			panic(err)
+		}
+		f()
+	}
+}
+
+// CallbackErr enqueues a host callback that receives — and consumes —
+// the segment's accumulated error: nil when every operation enqueued
+// since the last error-consuming callback succeeded, otherwise the first
+// failure (the remaining operations of the segment were skipped). This is
+// the hook of the fault-tolerant dispatch path: the engine inspects the
+// error and re-routes the batch instead of crashing.
+func (s *Stream) CallbackErr(f func(err error)) {
+	s.ops <- func() {
+		err := s.segErr
+		s.segErr = nil
+		f(err)
+	}
 }
 
 // Synchronize blocks until every operation enqueued before the call has
-// completed.
+// completed. A pending segment error is left in place for the next
+// error-consuming callback.
 func (s *Stream) Synchronize() {
 	ch := make(chan struct{})
 	s.ops <- func() { close(ch) }
 	<-ch
+}
+
+// SynchronizeErr blocks like Synchronize and additionally returns — and
+// consumes — the segment's accumulated error, if any.
+func (s *Stream) SynchronizeErr() error {
+	ch := make(chan error, 1)
+	s.ops <- func() {
+		err := s.segErr
+		s.segErr = nil
+		ch <- err
+	}
+	return <-ch
 }

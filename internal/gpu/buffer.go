@@ -21,6 +21,9 @@ type Buffer[T any] struct {
 // Alloc allocates a device buffer of n elements of type T, charging the
 // device memory budget.
 func Alloc[T any](d *Device, n int) (*Buffer[T], error) {
+	if err := d.opCheck(opAlloc); err != nil {
+		return nil, err
+	}
 	var probe T
 	elem := int64(unsafe.Sizeof(probe))
 	bytes := elem * int64(n)
@@ -71,6 +74,9 @@ func (b *Buffer[T]) elemBytes() int64 {
 // CopyToDevice synchronously copies src into the buffer starting at
 // element offset dstOff, paying the simulated bus cost.
 func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
+	if err := b.dev.opCheck(opCopy); err != nil {
+		return err
+	}
 	if b.freed {
 		return fmt.Errorf("gpu: copy to freed buffer")
 	}
@@ -89,6 +95,9 @@ func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
 // CopyFromDevice synchronously copies elements [srcOff, srcOff+len(dst))
 // of the buffer into dst, paying the simulated bus cost.
 func (b *Buffer[T]) CopyFromDevice(dst []T, srcOff int) error {
+	if err := b.dev.opCheck(opCopy); err != nil {
+		return err
+	}
 	if b.freed {
 		return fmt.Errorf("gpu: copy from freed buffer")
 	}

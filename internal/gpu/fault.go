@@ -1,0 +1,157 @@
+package gpu
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInjectedFault is the error class of failures produced by a
+// FaultPlan. Fault-tolerant code treats it like any other device error;
+// tests use errors.Is to distinguish injected from organic failures.
+var ErrInjectedFault = fmt.Errorf("gpu: injected fault")
+
+// FaultKind classifies the faultable device operations.
+type FaultKind uint8
+
+const (
+	opCopy FaultKind = iota
+	opLaunch
+	opAlloc
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case opCopy:
+		return "copy"
+	case opLaunch:
+		return "launch"
+	default:
+		return "alloc"
+	}
+}
+
+// FaultPlan describes deterministic fault injection for a simulated
+// device — the chaos-testing hook of the fault-tolerance layer. Every
+// faultable operation (host<->device copy, kernel launch, allocation)
+// draws a sequence number from a per-device counter; whether an
+// operation fails depends only on (Seed, sequence number, kind), so a
+// plan replays identically for a fixed operation schedule and the
+// per-kind failure RATE is exact under any schedule.
+//
+// A FaultPlan is immutable once installed; swap plans with
+// Device.SetFaultPlan (e.g. to "repair" a device mid-test and exercise
+// the recovery probe).
+type FaultPlan struct {
+	// Seed drives the deterministic per-operation failure decisions.
+	Seed int64
+
+	// CopyFailProb, LaunchFailProb and AllocFailProb are per-operation
+	// failure probabilities in [0,1] for the respective operation kinds.
+	CopyFailProb   float64
+	LaunchFailProb float64
+	AllocFailProb  float64
+
+	// FailOps lists exact operation sequence numbers (1-based, counted
+	// across all kinds) that fail regardless of the probabilities —
+	// scripted faults for precisely staged scenarios.
+	FailOps []int64
+
+	// DieAtOp kills the whole device when the operation counter reaches
+	// it (1-based; 0 disables): every subsequent operation — including
+	// the one that triggered the death — fails with ErrDeviceClosed,
+	// modeling a mid-flight device loss (fallen off the bus, Xid error).
+	DieAtOp int64
+}
+
+// SetFaultPlan installs (or, with nil, removes) the device's fault plan.
+// Safe to call concurrently with device operations; in-flight operations
+// observe either the old or the new plan.
+func (d *Device) SetFaultPlan(fp *FaultPlan) {
+	d.faults.Store(fp)
+}
+
+// Kill marks the device dead: every subsequent copy, launch, and
+// allocation fails with ErrDeviceClosed. Running kernels complete.
+// Unlike Close, Kill does not tear down the worker pool — a killed
+// device still needs Close for cleanup, mirroring a lost-but-allocated
+// real device.
+func (d *Device) Kill() {
+	d.dead.Store(true)
+}
+
+// Dead reports whether the device has been killed (by Kill or a
+// FaultPlan's DieAtOp).
+func (d *Device) Dead() bool { return d.dead.Load() }
+
+// InjectedFaults returns the number of operations failed by the fault
+// plan so far (device deaths not included).
+func (d *Device) InjectedFaults() int64 { return d.injectedFaults.Load() }
+
+// opCheck runs the fault-injection and device-death gate for one
+// faultable operation. It returns ErrDeviceClosed on a dead device, an
+// ErrInjectedFault-wrapped error when the plan fails this operation, and
+// nil otherwise.
+func (d *Device) opCheck(kind FaultKind) error {
+	fp := d.faults.Load()
+	if fp != nil {
+		n := d.faultOps.Add(1)
+		if fp.DieAtOp > 0 && n >= fp.DieAtOp {
+			d.dead.Store(true)
+		}
+		if !d.dead.Load() {
+			if err := fp.check(kind, n, d.name); err != nil {
+				d.injectedFaults.Add(1)
+				return err
+			}
+		}
+	}
+	if d.dead.Load() {
+		return fmt.Errorf("%w: %s is dead", ErrDeviceClosed, d.name)
+	}
+	return nil
+}
+
+// check decides whether operation n of the given kind fails under the
+// plan.
+func (fp *FaultPlan) check(kind FaultKind, n int64, dev string) error {
+	for _, s := range fp.FailOps {
+		if s == n {
+			return fmt.Errorf("%w: scripted failure of %s op %d on %s",
+				ErrInjectedFault, kind, n, dev)
+		}
+	}
+	var p float64
+	switch kind {
+	case opCopy:
+		p = fp.CopyFailProb
+	case opLaunch:
+		p = fp.LaunchFailProb
+	case opAlloc:
+		p = fp.AllocFailProb
+	}
+	if p > 0 && unitUniform(fp.Seed, n, int64(kind)) < p {
+		return fmt.Errorf("%w: %s op %d on %s", ErrInjectedFault, kind, n, dev)
+	}
+	return nil
+}
+
+// unitUniform hashes (seed, n, kind) to a uniform float64 in [0,1) with
+// a splitmix64 finalizer — deterministic, allocation-free, and
+// independent across operations.
+func unitUniform(seed, n, kind int64) float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9 + uint64(kind) + 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// faultState is the per-device fault-injection state embedded in Device.
+type faultState struct {
+	faults         atomic.Pointer[FaultPlan]
+	faultOps       atomic.Int64 // sequence numbers for faultable operations
+	injectedFaults atomic.Int64
+	dead           atomic.Bool
+}

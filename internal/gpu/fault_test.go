@@ -1,0 +1,179 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultPlanProbabilisticRate checks that a seeded probability plan
+// fails roughly the configured fraction of synchronous copies, and that
+// the exact failure set replays identically for the same seed.
+func TestFaultPlanProbabilisticRate(t *testing.T) {
+	const n = 2000
+	const prob = 0.05
+
+	run := func() []int {
+		d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+		defer d.Close()
+		d.SetFaultPlan(&FaultPlan{Seed: 42, CopyFailProb: prob})
+		buf := MustAlloc[uint32](d, 8)
+		defer buf.Free()
+		src := make([]uint32, 8)
+		var failed []int
+		for i := 0; i < n; i++ {
+			if err := buf.CopyToDevice(0, src); err != nil {
+				if !errors.Is(err, ErrInjectedFault) {
+					t.Fatalf("copy %d: unexpected error class: %v", i, err)
+				}
+				failed = append(failed, i)
+			}
+		}
+		if got := d.InjectedFaults(); got != int64(len(failed)) {
+			t.Fatalf("InjectedFaults = %d, observed %d failures", got, len(failed))
+		}
+		return failed
+	}
+
+	first := run()
+	// Rate should be near prob: with n=2000 and p=0.05 the expectation is
+	// 100; a [50, 200] window is > 5 sigma on both sides.
+	if len(first) < n*5/200 || len(first) > n*5/50 {
+		t.Fatalf("failure count %d far from expected %d", len(first), n/20)
+	}
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("replay diverged: %d vs %d failures", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at failure %d: op %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestFaultPlanScriptedOps checks that FailOps fails exactly the listed
+// operation sequence numbers.
+func TestFaultPlanScriptedOps(t *testing.T) {
+	d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4) // before the plan: draws no op number
+	defer buf.Free()
+	d.SetFaultPlan(&FaultPlan{Seed: 1, FailOps: []int64{2, 4}})
+	src := make([]uint32, 4)
+	for i := 1; i <= 5; i++ {
+		err := buf.CopyToDevice(0, src)
+		wantFail := i == 2 || i == 4
+		if wantFail && !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("op %d: want injected fault, got %v", i, err)
+		}
+		if !wantFail && err != nil {
+			t.Fatalf("op %d: unexpected error %v", i, err)
+		}
+	}
+	if got := d.InjectedFaults(); got != 2 {
+		t.Fatalf("InjectedFaults = %d, want 2", got)
+	}
+}
+
+// TestFaultPlanDieAtOp checks mid-flight device death: the triggering
+// operation and everything after it fail with ErrDeviceClosed, including
+// launches and allocations, and removing the plan does not resurrect the
+// device.
+func TestFaultPlanDieAtOp(t *testing.T) {
+	d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4)
+	defer buf.Free()
+	d.SetFaultPlan(&FaultPlan{Seed: 7, DieAtOp: 3})
+	src := make([]uint32, 4)
+
+	for i := 1; i <= 2; i++ {
+		if err := buf.CopyToDevice(0, src); err != nil {
+			t.Fatalf("op %d before death: %v", i, err)
+		}
+	}
+	if d.Dead() {
+		t.Fatal("device dead before DieAtOp reached")
+	}
+	if err := buf.CopyToDevice(0, src); !errors.Is(err, ErrDeviceClosed) {
+		t.Fatalf("op 3: want ErrDeviceClosed, got %v", err)
+	}
+	if !d.Dead() {
+		t.Fatal("device not marked dead at DieAtOp")
+	}
+	// Every operation kind now fails, even with the plan removed.
+	d.SetFaultPlan(nil)
+	if err := buf.CopyFromDevice(src, 0); !errors.Is(err, ErrDeviceClosed) {
+		t.Fatalf("copy after death: want ErrDeviceClosed, got %v", err)
+	}
+	if _, err := Alloc[uint32](d, 4); !errors.Is(err, ErrDeviceClosed) {
+		t.Fatalf("alloc after death: want ErrDeviceClosed, got %v", err)
+	}
+	s, err := d.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.LaunchAsync(Grid{Blocks: 1, BlockDim: 1}, func(b *BlockCtx) {})
+	if err := s.SynchronizeErr(); !errors.Is(err, ErrDeviceClosed) {
+		t.Fatalf("launch after death: want ErrDeviceClosed, got %v", err)
+	}
+}
+
+// TestStreamSegmentErrorSkipsRest checks the stream error-state model: a
+// failed async op skips the rest of the segment, CallbackErr consumes the
+// error, and the next segment starts clean.
+func TestStreamSegmentErrorSkipsRest(t *testing.T) {
+	d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4)
+	defer buf.Free()
+	s, err := d.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Fail the first async copy (op 1 after the plan is installed).
+	d.SetFaultPlan(&FaultPlan{Seed: 1, FailOps: []int64{1}})
+	src := make([]uint32, 4)
+	launched := false
+	CopyToDeviceAsync(s, buf, 0, src)
+	s.LaunchAsync(Grid{Blocks: 1, BlockDim: 1}, func(b *BlockCtx) { launched = true })
+	var segErr error
+	s.CallbackErr(func(e error) { segErr = e })
+	s.Synchronize()
+	if !errors.Is(segErr, ErrInjectedFault) {
+		t.Fatalf("segment error = %v, want injected fault", segErr)
+	}
+	if launched {
+		t.Fatal("kernel ran despite earlier copy failure in the segment")
+	}
+	// Launch was skipped, so it never drew an op number: the next op is 2.
+	CopyToDeviceAsync(s, buf, 0, src)
+	s.LaunchAsync(Grid{Blocks: 1, BlockDim: 1}, func(b *BlockCtx) { launched = true })
+	if err := s.SynchronizeErr(); err != nil {
+		t.Fatalf("clean segment after consumed error: %v", err)
+	}
+	if !launched {
+		t.Fatal("kernel skipped in a clean segment")
+	}
+}
+
+// TestKillMarksDeviceDead checks the direct Kill switch.
+func TestKillMarksDeviceDead(t *testing.T) {
+	d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4)
+	defer buf.Free()
+	d.Kill()
+	if !d.Dead() {
+		t.Fatal("Dead() = false after Kill")
+	}
+	if err := buf.CopyToDevice(0, make([]uint32, 4)); !errors.Is(err, ErrDeviceClosed) {
+		t.Fatalf("copy on killed device: want ErrDeviceClosed, got %v", err)
+	}
+	if st := d.Stats(); st.InjectedFaults != 0 {
+		t.Fatalf("Kill counted as injected fault: %+v", st)
+	}
+}

@@ -112,6 +112,7 @@ type Stats struct {
 	CopiesDtoH     int64
 	MemInUse       int64
 	MemHighWater   int64
+	InjectedFaults int64
 }
 
 // Device is a simulated GPU.
@@ -125,6 +126,10 @@ type Device struct {
 		sync.Mutex
 		open int
 	}
+
+	// faultState carries the fault-injection plan, the operation
+	// sequence counter it draws from, and the device-death flag.
+	faultState
 
 	memInUse     atomic.Int64
 	memHighWater atomic.Int64
@@ -294,9 +299,13 @@ func (b *BlockCtx) LaunchNested(grid Grid, kernel KernelFunc) {
 
 // launch enqueues all blocks of a grid and waits for their completion.
 // It is called from a stream executor goroutine. It returns
-// ErrDeviceClosed on a closed device rather than panicking, so stream
-// error propagation can route the failure to the dispatching engine.
+// ErrDeviceClosed on a closed or dead device — rather than panicking, so
+// stream error propagation can route the failure to the dispatching
+// engine — and injected fault errors under an active FaultPlan.
 func (d *Device) launch(grid Grid, kernel KernelFunc) error {
+	if err := d.opCheck(opLaunch); err != nil {
+		return err
+	}
 	if d.closed.Load() {
 		return ErrDeviceClosed
 	}
@@ -327,6 +336,7 @@ func (d *Device) Stats() Stats {
 		CopiesDtoH:     d.copiesDtoH.Load(),
 		MemInUse:       d.memInUse.Load(),
 		MemHighWater:   d.memHighWater.Load(),
+		InjectedFaults: d.injectedFaults.Load(),
 	}
 }
 

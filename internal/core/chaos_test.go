@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tagmatch/internal/gpu"
+)
+
+// TestChaosExactResultsUnderFaults is the headline fault-tolerance test:
+// 10k queries against two devices, one failing ~5% of its copies and
+// launches under a seeded FaultPlan, the other scripted to die mid-run.
+// Every query must return exactly the keys a fault-free run returns
+// (verifyEngine checks each against the brute-force reference), with
+// zero panics and no lost queries, and the circuit breaker must have
+// quarantined the dead device.
+func TestChaosExactResultsUnderFaults(t *testing.T) {
+	db := makeTestDB(2000, 5, 2, 71)
+	devs := []*gpu.Device{newTestGPU(t, 2), newTestGPU(t, 2)}
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 64, Threads: 4,
+		Devices: devs, StreamsPerDevice: 3, Replicate: true,
+		FailureThreshold:  3,
+		QuarantineBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Install the plans after Consolidate so the index upload is clean:
+	// device 0 dies a few hundred operations in (mid-run for this query
+	// volume); device 1 fails ~5% of copies and launches throughout.
+	devs[0].SetFaultPlan(&gpu.FaultPlan{Seed: 1, DieAtOp: 500})
+	devs[1].SetFaultPlan(&gpu.FaultPlan{Seed: 2, CopyFailProb: 0.05, LaunchFailProb: 0.05})
+
+	queries := db.makeQueries(10000, 72)
+	verifyEngine(t, e, db, queries, false)
+
+	if !devs[0].Dead() {
+		t.Fatal("device 0 never reached its scripted death")
+	}
+	st := e.Stats()
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("lost queries: submitted %d completed %d",
+			st.QueriesSubmitted, st.QueriesCompleted)
+	}
+	if st.GPUFaults == 0 {
+		t.Fatal("no GPU faults recorded despite active fault plans")
+	}
+	if st.BatchRetries == 0 {
+		t.Fatal("no batch retries recorded")
+	}
+	if st.DeviceQuarantines == 0 {
+		t.Fatal("dead device was never quarantined")
+	}
+	if !e.DeviceQuarantined(0) {
+		t.Fatal("device 0 not quarantined at end of run")
+	}
+}
+
+// TestChaosAllAttemptsFailFallsBackToCPU drives a single device whose
+// every operation fails: both GPU attempts of each batch fail, the
+// batch re-runs on the host, and results stay exact.
+func TestChaosAllAttemptsFailFallsBackToCPU(t *testing.T) {
+	db := makeTestDB(1000, 5, 2, 73)
+	dev := newTestGPU(t, 2)
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 32, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2, Replicate: true,
+		FailureThreshold:  3,
+		QuarantineBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPlan(&gpu.FaultPlan{Seed: 3, CopyFailProb: 1})
+
+	verifyEngine(t, e, db, db.makeQueries(500, 74), true)
+
+	st := e.Stats()
+	if st.CPUFallbacks == 0 {
+		t.Fatal("no CPU fallbacks despite a fully failing device")
+	}
+	if st.DeviceQuarantines == 0 {
+		t.Fatal("fully failing device was never quarantined")
+	}
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("lost queries: submitted %d completed %d",
+			st.QueriesSubmitted, st.QueriesCompleted)
+	}
+}
+
+// TestQuarantineRecoveryProbe checks the full circuit-breaker cycle:
+// repeated failures quarantine the device, a probe after the backoff
+// fails while the fault persists, and once the fault clears a probe
+// succeeds and returns the device to rotation.
+func TestQuarantineRecoveryProbe(t *testing.T) {
+	db := makeTestDB(500, 5, 2, 75)
+	dev := newTestGPU(t, 2)
+	e, err := New(Config{
+		MaxPartitionSize: 1000, BatchSize: 16, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2, Replicate: true,
+		FailureThreshold:  3,
+		QuarantineBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	queries := db.makeQueries(40, 76)
+
+	dev.SetFaultPlan(&gpu.FaultPlan{Seed: 4, CopyFailProb: 1})
+	for _, q := range queries[:10] {
+		if _, err := e.MatchSignature(q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.DeviceQuarantined(0) {
+		t.Fatal("device not quarantined after consecutive failures")
+	}
+	if e.Stats().DeviceQuarantines != 1 {
+		t.Fatalf("DeviceQuarantines = %d, want 1", e.Stats().DeviceQuarantines)
+	}
+
+	// Heal the device and keep submitting until a recovery probe lands.
+	// Failed probes before the heal may have grown the backoff, so poll
+	// with a generous deadline; results must be correct throughout.
+	dev.SetFaultPlan(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for e.DeviceQuarantined(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("device still quarantined after heal + probes")
+		}
+		if _, err := e.MatchSignature(queries[0], false); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := e.Stats()
+	if st.RecoveryProbes == 0 {
+		t.Fatal("no recovery probes recorded")
+	}
+	if st.DeviceRecoveries != 1 {
+		t.Fatalf("DeviceRecoveries = %d, want 1", st.DeviceRecoveries)
+	}
+
+	// The recovered device serves traffic again: kernel launches grow.
+	before := dev.Stats().KernelLaunches
+	verifyEngine(t, e, db, queries, false)
+	if dev.Stats().KernelLaunches <= before {
+		t.Fatal("recovered device served no kernels")
+	}
+}
+
+// TestConsolidateOOMDegradesToCPU checks the degradation path of the
+// offline stage: a device too small for the tagset table makes
+// Consolidate return a typed, wrapped error while installing a CPU-only
+// index that answers queries correctly.
+func TestConsolidateOOMDegradesToCPU(t *testing.T) {
+	db := makeTestDB(2000, 5, 2, 77)
+	dev := gpu.New(gpu.Config{Workers: 2, GlobalMemBytes: 4096})
+	t.Cleanup(dev.Close)
+	e, err := New(Config{
+		MaxPartitionSize: 500, BatchSize: 32, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2, Replicate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+
+	err = e.Consolidate()
+	if err == nil {
+		t.Fatal("Consolidate succeeded on a 4KiB device")
+	}
+	if !errors.Is(err, ErrDeviceDegraded) {
+		t.Fatalf("error %v does not wrap ErrDeviceDegraded", err)
+	}
+	if !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Fatalf("error %v does not wrap gpu.ErrOutOfMemory", err)
+	}
+
+	// The engine is degraded but fully usable: every query answered on
+	// the host, no device memory in use.
+	verifyEngine(t, e, db, db.makeQueries(200, 78), false)
+	st := e.Stats()
+	if st.UniqueSets == 0 {
+		t.Fatal("degraded index lost the database")
+	}
+	if len(st.DeviceBytes) != 0 {
+		t.Fatalf("degraded index still holds device memory: %v", st.DeviceBytes)
+	}
+	if dev.MemInUse() != 0 {
+		t.Fatalf("device memory leaked on degrade: %d bytes", dev.MemInUse())
+	}
+}

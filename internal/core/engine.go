@@ -90,6 +90,10 @@ type Engine struct {
 	// The batch-local reduce takes each query's lock at most once per
 	// (query, batch) — regression-tested against this counter.
 	queryLockAcqs atomic.Int64
+
+	// health holds the per-device circuit breakers of the fault-tolerant
+	// dispatch path, indexed like cfg.Devices; see health.go.
+	health []deviceHealth
 }
 
 type stagedOp struct {
@@ -147,6 +151,14 @@ var ErrClosed = errors.New("tagmatch: engine closed")
 // would silently alias query indices and corrupt results.
 var ErrBatchSizeTooLarge = errors.New("tagmatch: BatchSize exceeds 256 (query ids within a batch are 8-bit)")
 
+// ErrDeviceDegraded is returned (wrapped) by Consolidate when uploading
+// the index to the configured devices failed — typically device memory
+// exhaustion, matchable with errors.Is(err, gpu.ErrOutOfMemory) — and
+// the engine installed a CPU-only index instead. The engine remains
+// fully usable; only the GPU offload is lost until the next successful
+// Consolidate.
+var ErrDeviceDegraded = errors.New("tagmatch: device upload failed, running CPU-only")
+
 // New creates an engine. The engine starts with an empty database; call
 // AddSet then Consolidate before matching.
 func New(cfg Config) (*Engine, error) {
@@ -168,6 +180,7 @@ func New(cfg Config) (*Engine, error) {
 	e.drainCond = sync.NewCond(&e.drainMu)
 	e.pools.disabled = cfg.DisablePooling
 	e.idx.Store(&index{pt: &partitionTable{}})
+	e.initHealth()
 	e.registerGauges()
 
 	preWorkers := cfg.Threads / 2
@@ -230,6 +243,17 @@ func (e *Engine) registerGauges() {
 			n := len(idx.streams)
 			for _, ch := range idx.devStreams {
 				n += len(ch)
+			}
+			return float64(n)
+		})
+	e.obs.RegisterGauge("tagmatch_devices_quarantined",
+		"Devices currently quarantined by the failure circuit breaker.",
+		nil, func() float64 {
+			n := 0
+			for i := range e.health {
+				if e.health[i].quarantined.Load() {
+					n++
+				}
 			}
 			return float64(n)
 		})
@@ -311,6 +335,11 @@ func (e *Engine) PendingOps() int {
 // partitions, the partition table, the key table, and the device-resident
 // tagset tables. It drains in-flight queries first; new submissions block
 // until the rebuild completes.
+//
+// If the device upload fails (errors.Is(err, ErrDeviceDegraded), with
+// the underlying cause — e.g. gpu.ErrOutOfMemory — in the chain), the
+// rebuilt index is still installed in CPU-only form: matching keeps
+// working on the host, only the GPU offload is lost.
 func (e *Engine) Consolidate() error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -361,7 +390,7 @@ func (e *Engine) Consolidate() error {
 	e.idx.Store(&index{pt: &partitionTable{}})
 	old.release()
 	idx, err := e.buildIndex(snapshot, entriesBySet)
-	if err != nil {
+	if idx == nil {
 		// Leave the empty index in place: the engine stays usable (all
 		// queries match nothing) rather than pointing at freed buffers.
 		return err
@@ -379,10 +408,12 @@ func (e *Engine) Consolidate() error {
 	}
 
 	e.consolidateTime.Store(int64(time.Since(start)))
-	return nil
+	return err
 }
 
-// buildIndex constructs a fresh index from a database snapshot.
+// buildIndex constructs a fresh index from a database snapshot. When the
+// device upload fails it returns a usable CPU-only index together with
+// an ErrDeviceDegraded-wrapped error (both non-nil).
 func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*index, error) {
 	var specs []partitionSpec
 	if e.cfg.FirstFitPartitioning {
@@ -424,10 +455,19 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 	}
 	idx.pt, idx.maskless = buildPartitionTable(idx.parts)
 
+	var degraded error
 	if nDev > 0 {
 		if err := e.uploadToDevices(idx); err != nil {
+			// Device upload failed (out of device memory, too few
+			// streams, a dead device): degrade to a CPU-only index rather
+			// than leaving the engine without a database. dispatch sees no
+			// devices and runs every batch on the host.
 			idx.release()
-			return nil, err
+			idx.devices = nil
+			idx.devBufs = nil
+			idx.streams = nil
+			idx.devStreams = nil
+			degraded = fmt.Errorf("%w: %w", ErrDeviceDegraded, err)
 		}
 	}
 
@@ -438,7 +478,7 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 		int64(len(idx.keyOff))*4 +
 		int64(idx.pt.entries())*28 +
 		int64(len(idx.parts))*40
-	return idx, nil
+	return idx, degraded
 }
 
 // uploadToDevices allocates and fills the device-resident tagset tables
@@ -632,6 +672,13 @@ func (e *Engine) Stats() Stats {
 		PreprocessTime:     time.Duration(e.preprocessNs.Load()),
 		SubsetMatchTime:    time.Duration(e.matchNs.Load()),
 		ReduceTime:         time.Duration(e.reduceNs.Load()),
+		GPUFaults:          e.obs.Faults.GPUFaults.Load(),
+		BatchRetries:       e.obs.Faults.BatchRetries.Load(),
+		CPUFallbacks:       e.obs.Faults.CPUFallbacks.Load(),
+		DeviceQuarantines:  e.obs.Faults.Quarantines.Load(),
+		RecoveryProbes:     e.obs.Faults.Probes.Load(),
+		DeviceRecoveries:   e.obs.Faults.Recoveries.Load(),
+		QueriesShed:        e.obs.Faults.QueriesShed.Load(),
 	}
 	for _, dev := range idx.devices {
 		st.DeviceBytes = append(st.DeviceBytes, dev.MemInUse())

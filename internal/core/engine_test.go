@@ -230,6 +230,21 @@ func TestEngineOverflowFallback(t *testing.T) {
 	if e.Stats().ResultOverflows == 0 {
 		t.Fatal("expected result-buffer overflows with MaxPairsPerBatch=4")
 	}
+	// The per-partition observability counters must agree that overflows
+	// happened (they drive the tagmatch_partition_overflows_total series).
+	var obsOverflows int64
+	for _, ps := range e.Obs().Parts.Snapshot() {
+		obsOverflows += ps.Overflows
+	}
+	if obsOverflows == 0 {
+		t.Fatal("obs partition counters recorded no overflows")
+	}
+	// Overflow fallback is a planned host re-run, not a device fault: the
+	// fault-tolerance counters must stay untouched.
+	if st := e.Stats(); st.GPUFaults != 0 || st.CPUFallbacks != 0 {
+		t.Fatalf("overflow fallback counted as fault: faults=%d fallbacks=%d",
+			st.GPUFaults, st.CPUFallbacks)
+	}
 }
 
 func TestEngineAblationConfigs(t *testing.T) {

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// deviceHealth is the per-device circuit breaker of the fault-tolerant
+// dispatch path. A device accumulating Config.FailureThreshold
+// consecutive failed batch attempts is quarantined: its streams are
+// skipped by stream acquisition (batches re-route to surviving devices
+// in Replicate mode, to the CPU otherwise) until a recovery probe — one
+// batch let through after an exponentially backed-off delay — succeeds.
+//
+// All fields are atomics: health is consulted on the dispatch hot path
+// and updated from stream-executor callbacks, with no lock ordering
+// constraints against the rest of the engine.
+type deviceHealth struct {
+	consecFails atomic.Int32
+	quarantined atomic.Bool
+
+	// probing marks an in-flight recovery probe; the CAS in deviceUsable
+	// elects exactly one batch as the probe, and the probe's outcome
+	// (recordDeviceSuccess / recordDeviceFailure) clears it.
+	probing atomic.Bool
+
+	probeAfter atomic.Int64 // unix nanoseconds of the next probe window
+	backoff    atomic.Int64 // current probe backoff, nanoseconds
+}
+
+// quarantineBackoffCap bounds the exponential probe backoff at this
+// multiple of Config.QuarantineBackoff.
+const quarantineBackoffCap = 64
+
+func (e *Engine) initHealth() {
+	e.health = make([]deviceHealth, len(e.cfg.Devices))
+	for i := range e.health {
+		e.health[i].backoff.Store(int64(e.cfg.QuarantineBackoff))
+	}
+}
+
+// deviceUsable reports whether a batch may be dispatched to the device.
+// For a quarantined device whose backoff has elapsed it additionally
+// elects the caller as the recovery probe; a caller seeing true MUST
+// dispatch to the device (the attempt's outcome resolves the probe).
+func (e *Engine) deviceUsable(dev int) bool {
+	h := &e.health[dev]
+	if !h.quarantined.Load() {
+		return true
+	}
+	if time.Now().UnixNano() < h.probeAfter.Load() {
+		return false
+	}
+	if h.probing.CompareAndSwap(false, true) {
+		e.obs.Faults.Probes.Add(1)
+		return true
+	}
+	return false // another batch is already probing
+}
+
+// recordDeviceSuccess resets the device's failure streak and completes a
+// successful recovery probe, returning the device to rotation.
+func (e *Engine) recordDeviceSuccess(dev int) {
+	h := &e.health[dev]
+	h.consecFails.Store(0)
+	if h.quarantined.Load() && h.probing.CompareAndSwap(true, false) {
+		h.quarantined.Store(false)
+		h.backoff.Store(int64(e.cfg.QuarantineBackoff))
+		e.obs.Faults.Recoveries.Add(1)
+	}
+}
+
+// recordDeviceFailure advances the circuit breaker after a failed batch
+// attempt: quarantining the device at the consecutive-failure threshold,
+// or — for a failure while quarantined (the recovery probe, or a
+// straggler dispatched before the quarantine) — extending the probe
+// backoff exponentially up to quarantineBackoffCap times the base.
+func (e *Engine) recordDeviceFailure(dev int) {
+	h := &e.health[dev]
+	if h.quarantined.Load() {
+		h.probing.Store(false)
+		b := 2 * h.backoff.Load()
+		if max := quarantineBackoffCap * int64(e.cfg.QuarantineBackoff); b > max {
+			b = max
+		}
+		h.backoff.Store(b)
+		h.probeAfter.Store(time.Now().UnixNano() + b)
+		return
+	}
+	if h.consecFails.Add(1) >= int32(e.cfg.FailureThreshold) {
+		if h.quarantined.CompareAndSwap(false, true) {
+			h.probing.Store(false)
+			h.probeAfter.Store(time.Now().UnixNano() + h.backoff.Load())
+			e.obs.Faults.Quarantines.Add(1)
+		}
+	}
+}
+
+// DeviceQuarantined reports whether device dev (an index into
+// Config.Devices) is currently quarantined.
+func (e *Engine) DeviceQuarantined(dev int) bool {
+	return e.health[dev].quarantined.Load()
+}

@@ -506,12 +506,51 @@ func (e *Engine) cpuDispatch(idx *index, b *openBatch) {
 // (§3.3.2). All operations are asynchronous; the final stream callback
 // hands the results to the reduce stage and releases the stream.
 func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
+	e.gpuDispatchAttempt(idx, b, 0, -1)
+}
+
+// acquireStream pulls a stream whose device is healthy (or due a
+// recovery probe), preferring devices other than avoid — the device of a
+// failed prior attempt. It returns nil when no usable stream can be
+// found in a bounded number of tries, in which case the caller re-runs
+// the batch on the host. Skipped streams go straight back into the pool,
+// so quarantining never shrinks the pool itself.
+func (e *Engine) acquireStream(idx *index, pid uint32, avoid int) *streamCtx {
+	if !e.cfg.Replicate {
+		// Partitioned placement binds the partition to one device; there
+		// is no alternative device to retry on.
+		dev := idx.parts[pid].dev
+		if !e.deviceUsable(dev) {
+			return nil
+		}
+		return <-idx.devStreams[dev]
+	}
+	// Two bounded passes over the shared pool: the first insists on a
+	// device other than avoid, the second accepts any usable device (a
+	// single-device engine retries on another stream of the same GPU).
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i <= cap(idx.streams); i++ {
+			sc := <-idx.streams
+			if (pass == 1 || sc.dev != avoid) && e.deviceUsable(sc.dev) {
+				return sc
+			}
+			idx.streams <- sc
+		}
+	}
+	return nil
+}
+
+// gpuDispatchAttempt runs one GPU attempt for the batch. attempt 0 is the
+// initial dispatch; a failed attempt is retried once (attempt 1) on a
+// stream avoiding the failed device, and a second failure — or no usable
+// stream at all — re-runs the batch on the host, so every batch reaches
+// the reduce stage exactly once no matter how the devices behave.
+func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int) {
 	p := &idx.parts[b.pid]
-	var sc *streamCtx
-	if e.cfg.Replicate {
-		sc = <-idx.streams
-	} else {
-		sc = <-idx.devStreams[p.dev]
+	sc := e.acquireStream(idx, b.pid, avoid)
+	if sc == nil {
+		e.fallbackCPU(idx, b)
+		return
 	}
 	dev := sc.dev
 	buf := idx.devBufs[dev]
@@ -545,7 +584,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		sc.stream.CallbackErr(func(opErr error) {
 			if opErr != nil {
 				release()
-				e.batchFault(idx, b, sc, opErr)
+				e.batchFault(idx, b, sc, attempt, opErr)
 				return
 			}
 			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
@@ -565,7 +604,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 				if err != nil {
 					e.pools.putResult(res)
 					release()
-					e.batchFault(idx, b, sc, err)
+					e.batchFault(idx, b, sc, attempt, err)
 					return
 				}
 			}
@@ -592,7 +631,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 		sc.stream.CallbackErr(func(opErr error) {
 			if opErr != nil {
 				release()
-				e.batchFault(idx, b, sc, opErr)
+				e.batchFault(idx, b, sc, attempt, opErr)
 				return
 			}
 			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
@@ -606,7 +645,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 				if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
 					e.pools.putResult(res)
 					release()
-					e.batchFault(idx, b, sc, err)
+					e.batchFault(idx, b, sc, attempt, err)
 					return
 				}
 			}
@@ -627,7 +666,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 	sc.stream.CallbackErr(func(opErr error) {
 		if opErr != nil {
 			release()
-			e.batchFault(idx, b, sc, opErr)
+			e.batchFault(idx, b, sc, attempt, opErr)
 			return
 		}
 		rawCount := atomic.LoadUint32(&sc.hdr.Data()[0])
@@ -643,7 +682,7 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 			if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
 				e.pools.putResult(res)
 				release()
-				e.batchFault(idx, b, sc, err)
+				e.batchFault(idx, b, sc, attempt, err)
 				return
 			}
 		}
@@ -654,16 +693,36 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 }
 
 // batchOK records a successful GPU attempt for the dispatching stream's
-// device. (Expanded by the device-health layer; the hook exists so every
-// dispatch path reports its outcome symmetrically.)
-func (e *Engine) batchOK(sc *streamCtx) {}
+// device, resetting its circuit breaker (and completing a recovery probe
+// when the device was quarantined).
+func (e *Engine) batchOK(sc *streamCtx) {
+	e.recordDeviceSuccess(sc.dev)
+}
 
 // batchFault handles a batch whose GPU attempt failed (copy, launch, or
 // result-transfer error, including a dead device): instead of panicking,
-// the batch is re-run on the host through the same payloadCPU mechanism
-// as a result-buffer overflow, so no submitted query is ever lost. The
-// caller has already released the stream.
-func (e *Engine) batchFault(idx *index, b *openBatch, sc *streamCtx, err error) {
+// the failure is charged to the device's circuit breaker and the batch
+// is retried once on a stream avoiding that device, then — on a second
+// failure — re-run on the host through the same payloadCPU mechanism as
+// a result-buffer overflow, so no submitted query is ever lost. The
+// caller has already released the stream; the retry runs on a fresh
+// goroutine because this method executes on the stream's executor
+// goroutine, which must not block on stream acquisition.
+func (e *Engine) batchFault(idx *index, b *openBatch, sc *streamCtx, attempt int, err error) {
+	e.obs.Faults.GPUFaults.Add(1)
+	e.recordDeviceFailure(sc.dev)
+	if attempt == 0 {
+		e.obs.Faults.BatchRetries.Add(1)
+		go e.gpuDispatchAttempt(idx, b, 1, sc.dev)
+		return
+	}
+	e.fallbackCPU(idx, b)
+}
+
+// fallbackCPU re-runs a batch on the host after the GPU path gave up on
+// it (device failures, quarantine, no usable stream).
+func (e *Engine) fallbackCPU(idx *index, b *openBatch) {
+	e.obs.Faults.CPUFallbacks.Add(1)
 	e.cpuDispatch(idx, b)
 }
 

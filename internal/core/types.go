@@ -122,6 +122,18 @@ type Config struct {
 	// observability on (the overhead is a few percent at most).
 	DisableObservability bool
 
+	// FailureThreshold is the number of consecutive failed batch
+	// attempts on a device before the circuit breaker quarantines it:
+	// the device's streams are skipped (batches re-route to surviving
+	// devices in Replicate mode, to the CPU otherwise) until a recovery
+	// probe succeeds. Defaults to 3.
+	FailureThreshold int
+
+	// QuarantineBackoff is the delay before a quarantined device
+	// receives its first recovery probe; each failed probe doubles the
+	// delay, up to 64x. Defaults to 250ms.
+	QuarantineBackoff time.Duration
+
 	// DisablePooling turns off the hot-path buffer recycling (query
 	// structs, batches, result carriers, reduce scratch), allocating
 	// fresh objects for every query and batch instead. Used by the
@@ -178,6 +190,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxPairsPerBatch <= 0 {
 		c.MaxPairsPerBatch = 16 * c.BatchSize
 	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.QuarantineBackoff <= 0 {
+		c.QuarantineBackoff = 250 * time.Millisecond
+	}
 }
 
 // Stats is a snapshot of engine activity. The JSON field names are part
@@ -197,6 +215,17 @@ type Stats struct {
 	KeysDelivered      int64 `json:"keys_delivered"`
 	ResultOverflows    int64 `json:"result_overflows"`
 	PartitionsSearched int64 `json:"partitions_searched"`
+
+	// Fault-tolerance counters (mirrors of obs.FaultCounters): failed
+	// GPU batch attempts, re-dispatches, host re-runs, circuit-breaker
+	// transitions, and overload rejections.
+	GPUFaults         int64 `json:"gpu_faults"`
+	BatchRetries      int64 `json:"batch_retries"`
+	CPUFallbacks      int64 `json:"cpu_fallbacks"`
+	DeviceQuarantines int64 `json:"device_quarantines"`
+	RecoveryProbes    int64 `json:"recovery_probes"`
+	DeviceRecoveries  int64 `json:"device_recoveries"`
+	QueriesShed       int64 `json:"queries_shed"`
 
 	// Memory accounting (Fig 9): host side and per-device.
 	HostBytes   int64   `json:"host_bytes"`

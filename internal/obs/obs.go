@@ -68,6 +68,11 @@ type Pipeline struct {
 	// Parts carries the per-partition hot-spot counters.
 	Parts Partitions
 
+	// Faults counts fault-tolerance events (GPU failures, retries, CPU
+	// fallbacks, quarantines, load shedding). Always recorded, even when
+	// On is false; see FaultCounters.
+	Faults FaultCounters
+
 	// Tracer samples per-query traces.
 	Tracer *Tracer
 
@@ -144,6 +149,7 @@ type StageSnapshot struct {
 type Snapshot struct {
 	Stages         []StageSnapshot     `json:"stages"`
 	BatchOccupancy HistSnapshot        `json:"batch_occupancy"`
+	Faults         FaultSnapshot       `json:"faults"`
 	Gauges         map[string]float64  `json:"gauges,omitempty"`
 	HotPartitions  []PartitionSnapshot `json:"hot_partitions,omitempty"`
 	Partitions     []PartitionSnapshot `json:"partitions,omitempty"`
@@ -180,6 +186,7 @@ func (p *Pipeline) Snapshot(includeAllPartitions bool) Snapshot {
 	s := Snapshot{
 		Stages:         p.Stages(),
 		BatchOccupancy: p.BatchOccupancy.Snapshot(),
+		Faults:         p.Faults.Snapshot(),
 		HotPartitions:  p.Parts.Hottest(p.topPartitions),
 		Traces:         p.Tracer.Recent(),
 	}
@@ -224,6 +231,7 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 	w.Histogram("tagmatch_batch_occupancy_queries",
 		"Queries per batch at dispatch time.",
 		nil, p.BatchOccupancy.Snapshot(), 1)
+	p.Faults.writeProm(w)
 
 	p.gaugeMu.Lock()
 	gauges := append([]gauge(nil), p.gauges...)

@@ -151,6 +151,13 @@ var ErrClosed = errors.New("tagmatch: engine closed")
 // would silently alias query indices and corrupt results.
 var ErrBatchSizeTooLarge = errors.New("tagmatch: BatchSize exceeds 256 (query ids within a batch are 8-bit)")
 
+// ErrOverloaded is returned by Submit-family calls rejected by the
+// admission gate: Config.MaxInFlight queries were already in flight. The
+// caller should shed load or back off and retry (the HTTP layer maps
+// this to 503 with a Retry-After); SubmitCtx blocks for capacity
+// instead.
+var ErrOverloaded = errors.New("tagmatch: engine overloaded")
+
 // ErrDeviceDegraded is returned (wrapped) by Consolidate when uploading
 // the index to the configured devices failed — typically device memory
 // exhaustion, matchable with errors.Is(err, gpu.ErrOutOfMemory) — and

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// saturatedEngine builds a CPU-only engine with MaxInFlight=1 and parks
+// its single reduce worker inside the done callback of one admitted
+// query, plus a second admitted query filling the budget. It returns the
+// engine and the release function that unblocks the reduce worker.
+//
+// Threads=2 gives one pre-process and one reduce worker; BatchSize=1
+// dispatches every query immediately. Blocking done of query 1 stalls
+// the only reduce worker, so query 2 — admitted because completion (and
+// thus capacity release) happens just before done runs — stays in flight
+// until release is called.
+func saturatedEngine(t *testing.T) (*Engine, func()) {
+	t.Helper()
+	e, err := New(Config{
+		MaxPartitionSize: 100, BatchSize: 1, Threads: 2, MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	e.AddSet([]string{"a"}, 1)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	if err := e.Submit([]string{"a"}, func(MatchResult) {
+		close(entered)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // reduce worker is now parked in query 1's done
+
+	if err := e.Submit([]string{"a"}, func(MatchResult) {}); err != nil {
+		t.Fatalf("query filling the in-flight budget was rejected: %v", err)
+	}
+
+	var released bool
+	return e, func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+}
+
+// TestSubmitOverloadedRejectsImmediately checks the admission gate: at
+// MaxInFlight, Submit returns ErrOverloaded without blocking, sheds are
+// counted, and capacity returns once queries complete.
+func TestSubmitOverloadedRejectsImmediately(t *testing.T) {
+	e, release := saturatedEngine(t)
+
+	start := time.Now()
+	err := e.Submit([]string{"a"}, func(MatchResult) {
+		t.Error("done called for a shed query")
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit at capacity: got %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("rejection took %v, want immediate", d)
+	}
+	if got := e.Stats().QueriesShed; got != 1 {
+		t.Fatalf("QueriesShed = %d, want 1", got)
+	}
+
+	release()
+	e.Drain()
+	if err := e.Submit([]string{"a"}, func(MatchResult) {}); err != nil {
+		t.Fatalf("Submit after drain: %v", err)
+	}
+	e.Drain()
+	st := e.Stats()
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("submitted %d completed %d", st.QueriesSubmitted, st.QueriesCompleted)
+	}
+}
+
+// TestSubmitCtxBlocksForCapacity checks the blocking variant: SubmitCtx
+// waits out a saturated engine and succeeds once capacity frees up.
+func TestSubmitCtxBlocksForCapacity(t *testing.T) {
+	e, release := saturatedEngine(t)
+
+	time.AfterFunc(20*time.Millisecond, release)
+	got := make(chan struct{})
+	err := e.SubmitCtx(context.Background(), []string{"a"}, func(MatchResult) {
+		close(got)
+	})
+	if err != nil {
+		t.Fatalf("SubmitCtx: %v", err)
+	}
+	e.Drain()
+	select {
+	case <-got:
+	default:
+		t.Fatal("done never called for the blocked-then-admitted query")
+	}
+}
+
+// TestSubmitCtxCancellation checks that a cancelled SubmitCtx returns an
+// error matching both ErrOverloaded and the context error, within the
+// context's deadline rather than blocking forever.
+func TestSubmitCtxCancellation(t *testing.T) {
+	e, release := saturatedEngine(t)
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := e.SubmitCtx(ctx, []string{"a"}, func(MatchResult) {
+		t.Error("done called for a cancelled submission")
+	})
+	if !errors.Is(err, ErrOverloaded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want ErrOverloaded+DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+// TestMaxInFlightDisabledByDefault checks that the zero value keeps the
+// historical unbounded-admission behavior.
+func TestMaxInFlightDisabledByDefault(t *testing.T) {
+	e, err := New(Config{MaxPartitionSize: 100, BatchSize: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.AddSet([]string{"a"}, 1)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.Submit([]string{"a"}, func(MatchResult) {}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	e.Drain()
+	if got := e.Stats().QueriesShed; got != 0 {
+		t.Fatalf("QueriesShed = %d with the gate disabled", got)
+	}
+}

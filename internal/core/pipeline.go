@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -171,7 +173,9 @@ type batchResult struct {
 }
 
 // Submit enqueues a match(q) operation; done is invoked exactly once with
-// the multiset of matching keys. Returns ErrClosed after Close.
+// the multiset of matching keys. Returns ErrClosed after Close and
+// ErrOverloaded when the Config.MaxInFlight admission gate rejects the
+// query (done is not called in either case).
 func (e *Engine) Submit(tags []string, done func(MatchResult)) error {
 	return e.submit(bloom.Signature(tags), e.tagSet(tags), false, done)
 }
@@ -206,15 +210,81 @@ func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool
 		return ErrClosed
 	}
 	e.submitMu.RLock()
+	// Admission gate: counting this submission, more than MaxInFlight
+	// queries would be in flight — shed it. submitted is incremented
+	// before the capacity check (and before the channel send, which
+	// awaitDrain's completed>=submitted test relies on) so concurrent
+	// submitters each see their own claim; a rejected claim is rolled
+	// back and progress is signalled for SubmitCtx waiters.
+	if max := int64(e.cfg.MaxInFlight); max > 0 {
+		if e.submitted.Add(1)-e.completed.Load() > max {
+			e.submitted.Add(-1)
+			e.submitMu.RUnlock()
+			e.obs.Faults.QueriesShed.Add(1)
+			e.notifyProgress()
+			return ErrOverloaded
+		}
+	} else {
+		e.submitted.Add(1)
+	}
 	q := e.pools.getQuery()
 	q.sig, q.tags, q.unique, q.done = sig, tags, unique, done
 	q.start = time.Now()
 	q.idx = e.idx.Load()
 	q.trace = e.obs.Tracer.Maybe()
 	q.pending.Store(1) // pre-processing guard
-	e.submitted.Add(1)
 	e.inputCh <- q
 	e.submitMu.RUnlock()
+	return nil
+}
+
+// SubmitCtx is Submit that blocks for admission capacity instead of
+// returning ErrOverloaded, up to the context's deadline. On cancellation
+// it returns an error matching both ErrOverloaded and the context error.
+func (e *Engine) SubmitCtx(ctx context.Context, tags []string, done func(MatchResult)) error {
+	return e.submitCtx(ctx, bloom.Signature(tags), e.tagSet(tags), false, done)
+}
+
+// SubmitUniqueCtx is SubmitUnique with SubmitCtx's blocking admission.
+func (e *Engine) SubmitUniqueCtx(ctx context.Context, tags []string, done func(MatchResult)) error {
+	return e.submitCtx(ctx, bloom.Signature(tags), e.tagSet(tags), true, done)
+}
+
+func (e *Engine) submitCtx(ctx context.Context, sig bitvec.Vector, tags map[string]struct{}, unique bool, done func(MatchResult)) error {
+	for {
+		err := e.submit(sig, tags, unique, done)
+		if !errors.Is(err, ErrOverloaded) {
+			return err
+		}
+		if err := e.waitCapacity(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// waitCapacity blocks until the pipeline makes progress (some query
+// completes, freeing admission capacity) or the context ends. It flushes
+// open batches first so capacity appears even without other traffic
+// driving partially filled batches out.
+func (e *Engine) waitCapacity(ctx context.Context) error {
+	e.drainWaiters.Add(1)
+	defer e.drainWaiters.Add(-1)
+	stop := context.AfterFunc(ctx, func() {
+		e.drainMu.Lock()
+		e.drainCond.Broadcast()
+		e.drainMu.Unlock()
+	})
+	defer stop()
+	ep := e.progressEpoch.Load()
+	e.flushAll(e.idx.Load())
+	e.drainMu.Lock()
+	for e.progressEpoch.Load() == ep && ctx.Err() == nil {
+		e.drainCond.Wait()
+	}
+	e.drainMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return errors.Join(ErrOverloaded, err)
+	}
 	return nil
 }
 

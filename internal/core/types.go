@@ -122,6 +122,14 @@ type Config struct {
 	// observability on (the overhead is a few percent at most).
 	DisableObservability bool
 
+	// MaxInFlight bounds the number of submitted-but-incomplete queries
+	// the engine admits. At the bound, Submit-family calls return
+	// ErrOverloaded immediately instead of queueing without limit (the
+	// SubmitCtx variants block for capacity). Zero disables the gate
+	// (the default): submission applies only the pipeline's natural
+	// channel backpressure.
+	MaxInFlight int
+
 	// FailureThreshold is the number of consecutive failed batch
 	// attempts on a device before the circuit breaker quarantines it:
 	// the device's streams are skipped (batches re-route to surviving

@@ -34,6 +34,7 @@
 package tagmatch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -42,6 +43,16 @@ import (
 	"tagmatch/internal/gpu"
 	"tagmatch/internal/obs"
 )
+
+// ErrOverloaded is returned by Submit-family calls rejected by the
+// Config.MaxInFlight admission gate. Shed load or back off and retry;
+// SubmitCtx blocks for capacity instead.
+var ErrOverloaded = core.ErrOverloaded
+
+// ErrDeviceDegraded wraps Consolidate errors that left the engine
+// running CPU-only after a device upload failure (typically device
+// memory exhaustion). The engine stays fully usable.
+var ErrDeviceDegraded = core.ErrDeviceDegraded
 
 // Key is the application value associated with a stored tag set — a user
 // id in the paper's Twitter-like workload.
@@ -86,6 +97,19 @@ type Config struct {
 	// true). When explicitly disabled with PartitionAcrossGPUs, each
 	// device holds only its share of the partitions.
 	PartitionAcrossGPUs bool
+	// MaxInFlight bounds the number of submitted-but-incomplete queries
+	// admitted before Submit-family calls return ErrOverloaded (the
+	// SubmitCtx variants block for capacity instead). Zero disables the
+	// gate.
+	MaxInFlight int
+	// FailureThreshold is the number of consecutive failed batch
+	// attempts before a GPU is quarantined and its batches re-route to
+	// surviving devices or the CPU (default 3).
+	FailureThreshold int
+	// QuarantineBackoff is the delay before a quarantined GPU receives
+	// its first recovery probe; failed probes double it, up to 64x
+	// (default 250ms).
+	QuarantineBackoff time.Duration
 	// ExactVerify re-checks every match against the original tag sets
 	// during key lookup, eliminating Bloom-filter false positives at the
 	// cost of storing the tags and one string-set containment check per
@@ -137,6 +161,9 @@ func New(cfg Config) (*Engine, error) {
 		Devices:              devices,
 		StreamsPerDevice:     cfg.StreamsPerGPU,
 		Replicate:            !cfg.PartitionAcrossGPUs,
+		MaxInFlight:          cfg.MaxInFlight,
+		FailureThreshold:     cfg.FailureThreshold,
+		QuarantineBackoff:    cfg.QuarantineBackoff,
 		ExactVerify:          cfg.ExactVerify,
 		TraceEvery:           cfg.TraceEvery,
 		DisableObservability: cfg.DisableObservability,
@@ -183,6 +210,18 @@ func (e *Engine) Submit(tags []string, done func(MatchResult)) error {
 // SubmitUnique enqueues a streaming match-unique.
 func (e *Engine) SubmitUnique(tags []string, done func(MatchResult)) error {
 	return e.core.SubmitUnique(tags, done)
+}
+
+// SubmitCtx is Submit that blocks for admission capacity instead of
+// returning ErrOverloaded, up to the context's deadline. On cancellation
+// it returns an error matching both ErrOverloaded and the context error.
+func (e *Engine) SubmitCtx(ctx context.Context, tags []string, done func(MatchResult)) error {
+	return e.core.SubmitCtx(ctx, tags, done)
+}
+
+// SubmitUniqueCtx is SubmitUnique with SubmitCtx's blocking admission.
+func (e *Engine) SubmitUniqueCtx(ctx context.Context, tags []string, done func(MatchResult)) error {
+	return e.core.SubmitUniqueCtx(ctx, tags, done)
 }
 
 // Drain blocks until every submitted query has completed.

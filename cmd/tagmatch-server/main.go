@@ -7,16 +7,28 @@
 // format), /healthz. See internal/httpserver for the request/response
 // shapes and the metric catalogue.
 //
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight HTTP requests finish (bounded by -shutdown-timeout),
+// and the engine drains its in-flight queries before the process exits.
+// With -max-inflight set, saturated /match requests answer 503 with a
+// Retry-After header instead of queueing without bound.
+//
 // Usage:
 //
 //	tagmatch-server [-addr :8080] [-gpus 2] [-threads 4] [-exact]
+//	                [-max-inflight 0] [-shutdown-timeout 10s]
 //	                [-trace 1000] [-stats-log 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tagmatch"
@@ -29,6 +41,10 @@ func main() {
 	gpus := flag.Int("gpus", 2, "simulated GPUs")
 	threads := flag.Int("threads", 4, "pipeline CPU threads")
 	exact := flag.Bool("exact", false, "exact-verify matches (no Bloom false positives)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"max submitted-but-incomplete queries before /match sheds with 503 (0 = unbounded)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"grace period for in-flight HTTP requests on SIGINT/SIGTERM")
 	trace := flag.Int("trace", 0, "sample one query in N for full pipeline tracing (0 = off)")
 	statsLog := flag.Duration("stats-log", 30*time.Second,
 		"interval between stats log lines (0 = off)")
@@ -38,6 +54,7 @@ func main() {
 		GPUs:         *gpus,
 		Threads:      *threads,
 		BatchTimeout: 50 * time.Millisecond,
+		MaxInFlight:  *maxInflight,
 		ExactVerify:  *exact,
 		TraceEvery:   *trace,
 	})
@@ -50,16 +67,22 @@ func main() {
 		go logStats(eng, *statsLog)
 	}
 
-	log.Printf("tagmatch-server listening on %s (%d simulated GPUs, %d threads, exact=%v, trace=1/%d)",
-		*addr, *gpus, *threads, *exact, *trace)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tagmatch-server listening on %s (%d simulated GPUs, %d threads, exact=%v, max-inflight=%d, trace=1/%d)",
+		ln.Addr(), *gpus, *threads, *exact, *maxInflight, *trace)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           httpserver.Handler(eng),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := httpserver.Serve(ctx, srv, ln, eng, *shutdownTimeout); err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("tagmatch-server: drained and stopped")
 }
 
 // logStats periodically emits a one-line digest: queries and batches

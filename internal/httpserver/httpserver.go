@@ -16,6 +16,10 @@
 //	GET  /metrics      Prometheus text exposition (format 0.0.4)
 //	GET  /healthz
 //
+// When the engine's MaxInFlight admission gate sheds a query, /match and
+// /match-unique answer 503 Service Unavailable with a Retry-After
+// header; clients should back off and retry.
+//
 // The /metrics endpoint exports everything a dashboard needs: engine
 // counters as tagmatch_*_total, database shape and memory as gauges,
 // per-stage latency histograms labeled {stage=...}, per-device counters
@@ -25,9 +29,12 @@
 package httpserver
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"time"
 
@@ -53,12 +60,15 @@ type MatchResponse struct {
 	Elapsed string         `json:"elapsed"`
 }
 
-// ConsolidateResponse reports the index shape after a rebuild.
+// ConsolidateResponse reports the index shape after a rebuild. Degraded
+// is non-empty when the rebuild succeeded but the device upload failed
+// and the engine is running CPU-only (tagmatch.ErrDeviceDegraded).
 type ConsolidateResponse struct {
 	Sets       int    `json:"sets"`
 	Partitions int    `json:"partitions"`
 	Keys       int    `json:"keys"`
 	Elapsed    string `json:"elapsed"`
+	Degraded   string `json:"degraded,omitempty"`
 }
 
 // StagedResponse reports the staging backlog after add/remove.
@@ -88,17 +98,20 @@ func Handler(eng *tagmatch.Engine) http.Handler {
 	})
 	mux.HandleFunc("POST /consolidate", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		resp := ConsolidateResponse{}
 		if err := eng.Consolidate(); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			if !errors.Is(err, tagmatch.ErrDeviceDegraded) {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			// The index was installed CPU-only; report success with the
+			// degradation, mirroring the engine's own semantics.
+			resp.Degraded = err.Error()
 		}
 		st := eng.Stats()
-		writeJSON(w, ConsolidateResponse{
-			Sets:       st.UniqueSets,
-			Partitions: st.Partitions,
-			Keys:       st.Keys,
-			Elapsed:    time.Since(start).String(),
-		})
+		resp.Sets, resp.Partitions, resp.Keys = st.UniqueSets, st.Partitions, st.Keys
+		resp.Elapsed = time.Since(start).String()
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("POST /match", matchHandler(eng, false))
 	mux.HandleFunc("POST /match-unique", matchHandler(eng, true))
@@ -218,6 +231,13 @@ func matchHandler(eng *tagmatch.Engine, unique bool) http.HandlerFunc {
 			keys, err = eng.Match(req.Tags)
 		}
 		if err != nil {
+			if errors.Is(err, tagmatch.ErrOverloaded) {
+				// Load shed by the admission gate: tell the client to back
+				// off and retry rather than reporting a server fault.
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -226,6 +246,34 @@ func matchHandler(eng *tagmatch.Engine, unique bool) http.HandlerFunc {
 		}
 		writeJSON(w, MatchResponse{Keys: keys, Count: len(keys), Elapsed: time.Since(start).String()})
 	}
+}
+
+// Serve runs srv on ln until ctx is cancelled (cmd/tagmatch-server wires
+// ctx to SIGINT/SIGTERM), then shuts down gracefully: the listener stops
+// accepting, in-flight HTTP requests get up to timeout to complete, and
+// the engine drains its in-flight queries so no accepted work is lost.
+// It returns nil after a clean shutdown, or the first serve/shutdown
+// error otherwise.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, eng *tagmatch.Engine, timeout time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err // serve failed before any shutdown request
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Stragglers were cut off; their engine queries still drain below.
+		err = nil
+	}
+	eng.Drain()
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-obs bench-hotpath clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
-## concurrency-heavy packages, and a short allocation-tracking benchmark
-## pass over the hot path.
-check: vet build test race bench-smoke
+## concurrency-heavy packages, the chaos (fault-injection) suite, and a
+## short allocation-tracking benchmark pass over the hot path.
+check: vet build test race chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ test:
 ## the packages with real concurrency; -race on the full tree is slow.
 race:
 	$(GO) test -race ./internal/core/ ./internal/obs/
+
+## chaos: the fault-injection suite under the race detector — seeded
+## deterministic GPU faults, scripted device death, quarantine/recovery,
+## OOM degrade, and overload shedding must all hold with -race on.
+chaos:
+	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded' \
+		./internal/gpu/ ./internal/core/ ./internal/httpserver/
 
 ## bench-smoke: quick -benchmem pass over the hot-path benchmarks so a
 ## regression in allocs/op shows up in the CI gate without a full
@@ -40,5 +47,11 @@ bench-obs:
 bench-hotpath:
 	$(GO) run ./cmd/tagmatch-bench hotpath
 
+## bench-chaos: measure throughput under seeded GPU faults plus a
+## mid-run device death vs. a healthy engine, assert identical match
+## output, and write BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/tagmatch-bench chaos
+
 clean:
-	rm -f BENCH_obs.json BENCH_hotpath.json
+	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json

@@ -10,8 +10,10 @@
 // Experiments: table1, table3, fig2 (with fig3), fig4, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly,
 // obs-overhead (observability-layer cost, also written to
-// BENCH_obs.json), and hotpath (buffer-pooling before/after, also
-// written to BENCH_hotpath.json).
+// BENCH_obs.json), hotpath (buffer-pooling before/after, also
+// written to BENCH_hotpath.json), and chaos (throughput under injected
+// GPU faults and a mid-run device death, also written to
+// BENCH_chaos.json).
 //
 // Flags:
 //
@@ -61,6 +63,7 @@ func allNames() []string {
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
 		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
+		"chaos",
 	}
 }
 
@@ -118,6 +121,22 @@ func runOne(name string, p experiments.Params, format string) {
 		// Hot-path before/after numbers land in BENCH_hotpath.json so the
 		// pooling win (and any p99 regression) is tracked across commits.
 		f, err := os.Create("BENCH_hotpath.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	case "chaos":
+		t, r := experiments.Chaos(p)
+		tables = append(tables, t)
+		// Degraded-mode throughput and the results-match bit land in
+		// BENCH_chaos.json so fault-tolerance cost (and any correctness
+		// break under faults) is tracked across commits.
+		f, err := os.Create("BENCH_chaos.json")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

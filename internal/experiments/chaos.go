@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"tagmatch/internal/core"
+	"tagmatch/internal/gpu"
+)
+
+// ChaosResult is the JSON shape of the chaos experiment
+// (BENCH_chaos.json): the same query stream measured on a healthy
+// engine and on one with injected GPU faults plus a mid-run device
+// death, with the fault-tolerance counters from the degraded run.
+// ResultsMatch asserts the headline robustness property: the degraded
+// engine produced exactly as many matched keys as the healthy one.
+type ChaosResult struct {
+	QPSHealthy  float64 `json:"qps_healthy"`
+	QPSFaulty   float64 `json:"qps_faulty"`
+	SlowdownPct float64 `json:"slowdown_pct"`
+
+	KeysHealthy  int64 `json:"keys_healthy"`
+	KeysFaulty   int64 `json:"keys_faulty"`
+	ResultsMatch bool  `json:"results_match"`
+
+	GPUFaults         int64 `json:"gpu_faults"`
+	BatchRetries      int64 `json:"batch_retries"`
+	CPUFallbacks      int64 `json:"cpu_fallbacks"`
+	DeviceQuarantines int64 `json:"device_quarantines"`
+	DeviceDied        bool  `json:"device_died"`
+
+	Queries int   `json:"queries"`
+	GPUs    int   `json:"gpus"`
+	Threads int   `json:"threads"`
+	Seed    int64 `json:"seed"`
+}
+
+// Chaos measures the throughput cost of fault-tolerant dispatch under
+// sustained injected faults: one device is scripted to die mid-run and
+// every surviving device fails 5% of copies and launches (seeded, so
+// the run is reproducible). Failed batches retry once on another
+// device and then re-run on the CPU, so the degraded engine must
+// produce exactly the healthy engine's results — the experiment
+// records both throughputs, the relative slowdown, and the fault
+// counters that show the degradation ladder actually engaged.
+//
+// Negative slowdown is possible at small scales: the experiment runs
+// with the simulator's calibrated kernel-launch and PCIe-copy costs,
+// and the CPU re-run path pays neither, so a mostly-CPU degraded run
+// can out-pace the simulated devices it replaced. The robustness claim
+// is ResultsMatch, not the sign of the throughput delta.
+func Chaos(p Params) (*Table, *ChaosResult) {
+	gpus := p.GPUs
+	if gpus < 2 {
+		gpus = 2 // need a victim device and a survivor
+	}
+	ds := BuildDataset(p)
+	sigs, keys := ds.Slice(0.5)
+	queries := ds.Queries(4096, 0.5, -1, p.Seed+3000)
+
+	build := func() (eng *engineHandle) {
+		e, devs, err := BuildEngine(EngineSpec{
+			Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: gpus,
+			MaxP: ds.BaseMaxP(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return &engineHandle{e, devs}
+	}
+
+	healthy := build()
+	h := MeasureEngine(healthy.eng, queries, p.Queries, false)
+	healthy.close()
+
+	faulty := build()
+	// Device 0 dies a few thousand ops in — early enough that most of
+	// the run happens one device down. The survivors drop 5% of copies
+	// and launches for the whole run.
+	faulty.devs[0].SetFaultPlan(&gpu.FaultPlan{Seed: p.Seed, DieAtOp: 2000})
+	for _, d := range faulty.devs[1:] {
+		d.SetFaultPlan(&gpu.FaultPlan{
+			Seed:           p.Seed,
+			CopyFailProb:   0.05,
+			LaunchFailProb: 0.05,
+		})
+	}
+	f := MeasureEngine(faulty.eng, queries, p.Queries, false)
+	st := faulty.eng.Stats()
+	died := faulty.devs[0].Dead()
+	faulty.close()
+
+	r := &ChaosResult{
+		QPSHealthy:   h.QPS,
+		QPSFaulty:    f.QPS,
+		SlowdownPct:  (h.QPS - f.QPS) / h.QPS * 100,
+		KeysHealthy:  h.Keys,
+		KeysFaulty:   f.Keys,
+		ResultsMatch: h.Keys == f.Keys,
+
+		GPUFaults:         st.GPUFaults,
+		BatchRetries:      st.BatchRetries,
+		CPUFallbacks:      st.CPUFallbacks,
+		DeviceQuarantines: st.DeviceQuarantines,
+		DeviceDied:        died,
+
+		Queries: p.Queries,
+		GPUs:    gpus,
+		Threads: p.Threads,
+		Seed:    p.Seed,
+	}
+
+	t := &Table{
+		ID:    "chaos",
+		Title: "Throughput under injected GPU faults (K queries/s)",
+		Cols:  []string{"throughput"},
+	}
+	t.Add("healthy", r.QPSHealthy/1e3)
+	t.Add("faulty (1 dead GPU, 5% op faults)", r.QPSFaulty/1e3)
+	t.Note("slowdown: %.1f%%; faults=%d retries=%d cpu_fallbacks=%d quarantines=%d",
+		r.SlowdownPct, r.GPUFaults, r.BatchRetries, r.CPUFallbacks, r.DeviceQuarantines)
+	if r.ResultsMatch {
+		t.Note("matched keys identical across runs (%d)", r.KeysHealthy)
+	} else {
+		t.Note("RESULT MISMATCH: healthy=%d faulty=%d keys", r.KeysHealthy, r.KeysFaulty)
+	}
+	return t, r
+}
+
+// engineHandle pairs an engine with its devices for joint teardown.
+type engineHandle struct {
+	eng  *core.Engine
+	devs []*gpu.Device
+}
+
+func (h *engineHandle) close() {
+	h.eng.Close()
+	closeDevices(h.devs)
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *ChaosResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

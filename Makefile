@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
-## concurrency-heavy packages, the chaos (fault-injection) suite, and a
-## short allocation-tracking benchmark pass over the hot path.
-check: vet build test race chaos bench-smoke
+## concurrency-heavy packages, the chaos (fault-injection) suite, a
+## short allocation-tracking benchmark pass over the hot path, and a
+## reduced-scale smoke run of the routing experiment.
+check: vet build test race chaos bench-smoke bench-preprocess-smoke
 
 build:
 	$(GO) build ./...
@@ -53,5 +54,17 @@ bench-hotpath:
 bench-chaos:
 	$(GO) run ./cmd/tagmatch-bench chaos
 
+## bench-preprocess: measure the bit-sliced vs. scalar routing lookup
+## (ns/query) and the end-to-end throughput of both flavors, and write
+## BENCH_preprocess.json. Use `-format benchstat` by hand to diff runs.
+bench-preprocess:
+	$(GO) run ./cmd/tagmatch-bench preprocess
+
+## bench-preprocess-smoke: the same experiment at reduced scale as a CI
+## gate; -no-bench-files keeps the small-scale numbers from overwriting
+## the committed BENCH_preprocess.json.
+bench-preprocess-smoke:
+	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files preprocess
+
 clean:
-	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json
+	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json

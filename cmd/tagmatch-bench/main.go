@@ -11,28 +11,35 @@
 // fig8, fig9, fig10, fig11, ablation-pipeline, ablation-gpuonly,
 // obs-overhead (observability-layer cost, also written to
 // BENCH_obs.json), hotpath (buffer-pooling before/after, also
-// written to BENCH_hotpath.json), and chaos (throughput under injected
+// written to BENCH_hotpath.json), chaos (throughput under injected
 // GPU faults and a mid-run device death, also written to
-// BENCH_chaos.json).
+// BENCH_chaos.json), and preprocess (bit-sliced vs. scalar partition
+// routing, also written to BENCH_preprocess.json).
 //
 // Flags:
 //
-//	-scale f    fraction of the paper's 300M-user workload (default 0.002)
-//	-seed n     workload seed (default 1)
-//	-threads n  CPU threads per subject system (default GOMAXPROCS)
-//	-gpus n     simulated GPUs for TagMatch (default 2)
-//	-queries n  queries per throughput measurement (default 20000)
+//	-scale f         fraction of the paper's 300M-user workload (default 0.002)
+//	-seed n          workload seed (default 1)
+//	-threads n       CPU threads per subject system (default GOMAXPROCS)
+//	-gpus n          simulated GPUs for TagMatch (default 2)
+//	-queries n       queries per throughput measurement (default 20000)
+//	-format f        output format: text, json, csv, benchstat
+//	-no-bench-files  skip writing BENCH_*.json artifacts (smoke runs at
+//	                 reduced scale must not overwrite committed numbers)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"tagmatch/internal/experiments"
 )
+
+var noBenchFiles bool
 
 func main() {
 	var p experiments.Params
@@ -41,7 +48,8 @@ func main() {
 	flag.IntVar(&p.Threads, "threads", runtime.GOMAXPROCS(0), "CPU threads per subject system")
 	flag.IntVar(&p.GPUs, "gpus", 2, "simulated GPUs")
 	flag.IntVar(&p.Queries, "queries", 20000, "queries per measurement")
-	format := flag.String("format", "text", "output format: text, json, csv")
+	format := flag.String("format", "text", "output format: text, json, csv, benchstat")
+	flag.BoolVar(&noBenchFiles, "no-bench-files", false, "skip writing BENCH_*.json artifacts")
 	flag.Parse()
 
 	names := flag.Args()
@@ -58,12 +66,35 @@ func main() {
 	}
 }
 
+// jsonWriter is any experiment result that serializes itself; every
+// BENCH_*.json artifact goes through writeBenchFile so -no-bench-files
+// can gate them all.
+type jsonWriter interface {
+	WriteJSON(io.Writer) error
+}
+
+func writeBenchFile(name string, r jsonWriter) {
+	if noBenchFiles {
+		return
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+}
+
 func allNames() []string {
 	return []string{
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
 		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
-		"chaos",
+		"chaos", "preprocess",
 	}
 }
 
@@ -105,47 +136,27 @@ func runOne(name string, p experiments.Params, format string) {
 		tables = append(tables, t)
 		// The overhead comparison also lands in BENCH_obs.json so CI can
 		// track the instrumentation cost across commits.
-		f, err := os.Create("BENCH_obs.json")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := r.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
+		writeBenchFile("BENCH_obs.json", r)
 	case "hotpath":
 		t, r := experiments.Hotpath(p)
 		tables = append(tables, t)
 		// Hot-path before/after numbers land in BENCH_hotpath.json so the
 		// pooling win (and any p99 regression) is tracked across commits.
-		f, err := os.Create("BENCH_hotpath.json")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := r.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
+		writeBenchFile("BENCH_hotpath.json", r)
 	case "chaos":
 		t, r := experiments.Chaos(p)
 		tables = append(tables, t)
 		// Degraded-mode throughput and the results-match bit land in
 		// BENCH_chaos.json so fault-tolerance cost (and any correctness
 		// break under faults) is tracked across commits.
-		f, err := os.Create("BENCH_chaos.json")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := r.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
+		writeBenchFile("BENCH_chaos.json", r)
+	case "preprocess":
+		t, r := experiments.Preprocess(p)
+		tables = append(tables, t)
+		// Routing before/after numbers land in BENCH_preprocess.json so
+		// the bit-sliced speedup (acceptance bar: ≥2x) is tracked across
+		// commits.
+		writeBenchFile("BENCH_preprocess.json", r)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
 		os.Exit(2)
@@ -159,6 +170,11 @@ func runOne(name string, p experiments.Params, format string) {
 			}
 		case "csv":
 			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "benchstat":
+			if err := t.WriteBenchstat(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

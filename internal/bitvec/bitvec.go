@@ -73,6 +73,36 @@ func (v Vector) Contains(s Vector) bool {
 	return s.SubsetOf(v)
 }
 
+// AndNotIsZero reports whether v &^ w == 0, i.e. v ⊆ w, without
+// materializing the intermediate vector. Semantically identical to
+// SubsetOf; named for call sites that previously built v.AndNot(w) and
+// tested IsZero on the hot path.
+func AndNotIsZero(v, w Vector) bool {
+	return (v[0]&^w[0])|(v[1]&^w[1])|(v[2]&^w[2]) == 0
+}
+
+// PrefixSubsetOf reports whether v.Prefix(n) ⊆ q without materializing
+// the prefix vector — the fused form of the per-block pre-filter test
+// (Algorithm 4), which runs once per (block, query) on the match hot
+// path.
+func (v Vector) PrefixSubsetOf(n int, q Vector) bool {
+	if n <= 0 {
+		return true
+	}
+	if n >= W {
+		return v.SubsetOf(q)
+	}
+	var acc uint64
+	full := n >> 6
+	for b := 0; b < full; b++ {
+		acc |= v[b] &^ q[b]
+	}
+	if rem := uint(n & 63); rem != 0 {
+		acc |= v[full] &^ (^uint64(0) >> rem) &^ q[full]
+	}
+	return acc == 0
+}
+
 // Or returns the bitwise union of v and w.
 func (v Vector) Or(w Vector) Vector {
 	return Vector{v[0] | w[0], v[1] | w[1], v[2] | w[2]}

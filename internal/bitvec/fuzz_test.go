@@ -77,3 +77,39 @@ func FuzzSubsetAlgebra(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLaneBlockSubset packs fuzz-derived masks into a LaneBlock and
+// checks the bit-sliced subset test against the scalar SubsetOf for
+// every lane.
+func FuzzLaneBlockSubset(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4}, []byte{5, 6})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0}, []byte{255, 0, 63, 64, 128, 191})
+	f.Fuzz(func(t *testing.T, maskBytes, qBytes []byte) {
+		// Each run of up to 8 bytes defines one mask (bit positions mod W);
+		// at most 64 lanes.
+		var lb LaneBlock
+		var masks []Vector
+		for i := 0; i < len(maskBytes) && len(masks) < 64; i += 8 {
+			var m Vector
+			for _, x := range maskBytes[i:min(i+8, len(maskBytes))] {
+				m.Set(int(x) % W)
+			}
+			lb.SetLane(len(masks), m)
+			masks = append(masks, m)
+		}
+		var q Vector
+		for _, x := range qBytes {
+			q.Set(int(x) % W)
+		}
+		var want uint64
+		for l, m := range masks {
+			if m.SubsetOf(q) {
+				want |= 1 << uint(l)
+			}
+		}
+		if got := lb.SubsetLanes(q); got != want {
+			t.Fatalf("SubsetLanes = %#x, scalar = %#x (q=%s)", got, want, q.Hex())
+		}
+	})
+}

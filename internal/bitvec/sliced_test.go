@@ -1,0 +1,127 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, nbits int) Vector {
+	var v Vector
+	for j := 0; j < nbits; j++ {
+		v.Set(rng.Intn(W))
+	}
+	return v
+}
+
+// scalarSubsetLanes is the reference: test each occupied lane with the
+// three-word SubsetOf.
+func scalarSubsetLanes(masks []Vector, q Vector) uint64 {
+	var hits uint64
+	for l, m := range masks {
+		if m.SubsetOf(q) {
+			hits |= 1 << uint(l)
+		}
+	}
+	return hits
+}
+
+func TestLaneBlockMatchesScalarSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		masks := make([]Vector, n)
+		var lb LaneBlock
+		for l := range masks {
+			masks[l] = randVec(rng, 2+rng.Intn(40))
+			lb.SetLane(l, masks[l])
+		}
+		if lb.Lanes() != n {
+			t.Fatalf("Lanes() = %d, want %d", lb.Lanes(), n)
+		}
+		for qi := 0; qi < 20; qi++ {
+			q := randVec(rng, 4+rng.Intn(80))
+			if got, want := lb.SubsetLanes(q), scalarSubsetLanes(masks, q); got != want {
+				t.Fatalf("trial %d: SubsetLanes = %#x, scalar = %#x (q=%s)",
+					trial, got, want, q.Hex())
+			}
+		}
+	}
+}
+
+func TestLaneBlockEmptyMaskLane(t *testing.T) {
+	// An all-zero mask is a subset of every query, including the empty
+	// one: its lane contributes no columns, so it can never miss.
+	var lb LaneBlock
+	lb.SetLane(3, Vector{})
+	lb.SetLane(5, FromOnes(10))
+	if got := lb.SubsetLanes(Vector{}); got != 1<<3 {
+		t.Fatalf("empty query: hits = %#x, want lane 3 only", got)
+	}
+	if got := lb.SubsetLanes(FromOnes(10, 11)); got != 1<<3|1<<5 {
+		t.Fatalf("hits = %#x, want lanes 3 and 5", got)
+	}
+}
+
+func TestLaneBlockBoundaryBits(t *testing.T) {
+	// Bits at word boundaries (0, 63, 64, 127, 128, 191) exercise the
+	// MSB-first column addressing.
+	positions := []int{0, 63, 64, 127, 128, 191}
+	var lb LaneBlock
+	masks := make([]Vector, len(positions))
+	for l, p := range positions {
+		masks[l] = FromOnes(p)
+		lb.SetLane(l, masks[l])
+	}
+	for _, p := range positions {
+		q := FromOnes(p)
+		if got, want := lb.SubsetLanes(q), scalarSubsetLanes(masks, q); got != want {
+			t.Fatalf("bit %d: hits = %#x, want %#x", p, got, want)
+		}
+	}
+	all := FromOnes(positions...)
+	if got := lb.SubsetLanes(all); got != (1<<len(positions))-1 {
+		t.Fatalf("all-bits query: hits = %#x, want all lanes", got)
+	}
+}
+
+func TestAndNotIsZeroMatchesSubsetOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		v, q := randVec(rng, 1+rng.Intn(30)), randVec(rng, 1+rng.Intn(60))
+		if AndNotIsZero(v, q) != v.SubsetOf(q) {
+			t.Fatalf("AndNotIsZero disagrees with SubsetOf: v=%s q=%s", v.Hex(), q.Hex())
+		}
+	}
+}
+
+func TestPrefixSubsetOfMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		v, q := randVec(rng, 1+rng.Intn(30)), randVec(rng, 1+rng.Intn(60))
+		for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 150, 191, 192, 200, rng.Intn(2 * W)} {
+			if got, want := v.PrefixSubsetOf(n, q), v.Prefix(n).SubsetOf(q); got != want {
+				t.Fatalf("PrefixSubsetOf(%d) = %v, materialized = %v (v=%s q=%s)",
+					n, got, want, v.Hex(), q.Hex())
+			}
+		}
+	}
+}
+
+func BenchmarkLaneBlockSubsetLanes(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	var lb LaneBlock
+	for l := 0; l < 64; l++ {
+		lb.SetLane(l, randVec(rng, 20))
+	}
+	qs := make([]Vector, 64)
+	for i := range qs {
+		qs[i] = randVec(rng, 60)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= lb.SubsetLanes(qs[i&63])
+	}
+	_ = sink
+}

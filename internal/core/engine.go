@@ -479,11 +479,12 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 	}
 
 	// Host memory accounting (Fig 9): tagset table host copy, key table,
-	// CSR offsets, partition table.
+	// CSR offsets, partition table (scalar bins + bit-sliced groups).
 	idx.hostBytes = int64(len(idx.sets))*24 +
 		int64(len(idx.keys))*4 +
 		int64(len(idx.keyOff))*4 +
 		int64(idx.pt.entries())*28 +
+		idx.pt.slicedBytes() +
 		int64(len(idx.parts))*40
 	return idx, degraded
 }
@@ -674,6 +675,10 @@ func (e *Engine) Stats() Stats {
 		KeysDelivered:      e.keysDelivered.Load(),
 		ResultOverflows:    e.overflows.Load(),
 		PartitionsSearched: e.partsSearched.Load(),
+		RoutedSliced:       e.obs.Routing.SlicedQueries.Load(),
+		RoutedScalar:       e.obs.Routing.ScalarQueries.Load(),
+		RouteMergeLocks:    e.obs.Routing.MergeLockAcqs.Load(),
+		RouteAppends:       e.obs.Routing.MergedAppends.Load(),
 		HostBytes:          idx.hostBytes,
 		LastConsolidate:    time.Duration(e.consolidateTime.Load()),
 		PreprocessTime:     time.Duration(e.preprocessNs.Load()),

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"tagmatch/internal/bitvec"
 )
 
 // FuzzLoadSnapshot feeds arbitrary bytes to the snapshot loader: it must
@@ -68,6 +70,41 @@ func FuzzLoadSnapshot(f *testing.F) {
 		// A successful load must leave a usable engine.
 		if _, err := eng.Match([]string{"x"}); err != nil {
 			t.Fatalf("engine unusable after load: %v", err)
+		}
+	})
+}
+
+// FuzzSlicedLookup differentially fuzzes the bit-sliced partition lookup
+// against the scalar Algorithm 2 scan: for any set of masks and any
+// query, the two must return the same pid set.
+func FuzzSlicedLookup(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 0, 0, 0, 0, 4, 5}, []byte{1, 2, 3, 4, 5})
+	f.Add([]byte{}, []byte{7})
+	f.Add([]byte{0, 0, 0, 0, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, maskBytes, qBytes []byte) {
+		var parts []partition
+		for i := 0; i < len(maskBytes) && len(parts) < 300; i += 5 {
+			var m bitvec.Vector
+			for _, x := range maskBytes[i:min(i+5, len(maskBytes))] {
+				m.Set(int(x) % bitvec.W)
+			}
+			parts = append(parts, partition{mask: m})
+		}
+		pt, _ := buildPartitionTable(parts)
+		var q bitvec.Vector
+		for _, x := range qBytes {
+			q.Set(int(x) % bitvec.W)
+		}
+		ones := q.Ones(nil)
+		scalar := sortedPids(pt.lookup(q, ones, nil))
+		sliced := sortedPids(pt.lookupSliced(q, ones, nil))
+		if len(scalar) != len(sliced) {
+			t.Fatalf("scalar %v != sliced %v (q=%s)", scalar, sliced, q.Hex())
+		}
+		for i := range scalar {
+			if scalar[i] != sliced[i] {
+				t.Fatalf("scalar %v != sliced %v (q=%s)", scalar, sliced, q.Hex())
+			}
 		}
 	})
 }

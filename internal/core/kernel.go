@@ -66,20 +66,22 @@ func decodePacked(packed []byte, count int, visit func(q uint8, s uint32)) {
 }
 
 // blockPrefilter implements Algorithm 4: compute the block's common
-// signature prefix — one XOR between the block's first and last set,
-// valid because the tagset table is lexicographically sorted — and
+// signature prefix length — one XOR between the block's first and last
+// set, valid because the tagset table is lexicographically sorted — and
 // collect into block-shared memory the indices of the queries that
-// contain that prefix. Returns nil when no query survives.
+// contain that prefix. The prefix-containment test runs fused
+// (PrefixSubsetOf), so no prefix vector is materialized on the
+// per-block hot path. Returns nil when no query survives.
 func blockPrefilter(b *gpu.BlockCtx, blockSets []bitvec.Vector, qs []bitvec.Vector) []uint8 {
 	prefixLen := bitvec.CommonPrefixLen(blockSets[0], blockSets[len(blockSets)-1])
-	prefix := blockSets[0].Prefix(prefixLen)
+	first := blockSets[0]
 	shared := make([]uint8, 0, len(qs)) // block shared memory
 	b.Threads(func(tid int) {
 		// Threads stride through the original batch in parallel
 		// (Algorithm 4's while loop); block-sequential execution in the
 		// simulator keeps the appends well-ordered without the atomic.
 		for i := tid; i < len(qs); i += b.Grid.BlockDim {
-			if prefix.SubsetOf(qs[i]) {
+			if first.PrefixSubsetOf(prefixLen, qs[i]) {
 				shared = append(shared, uint8(i))
 			}
 		}
@@ -275,9 +277,8 @@ func cpuMatchBatch(
 		if prefilter {
 			pfBlocks++
 			prefixLen := bitvec.CommonPrefixLen(block[0], block[len(block)-1])
-			prefix := block[0].Prefix(prefixLen)
 			for i := range queries {
-				if prefix.SubsetOf(queries[i]) {
+				if block[0].PrefixSubsetOf(prefixLen, queries[i]) {
 					qIdx = append(qIdx, uint8(i))
 				}
 			}
@@ -293,7 +294,7 @@ func cpuMatchBatch(
 		for t := range block {
 			setID := uint32(globalBase + blk + t)
 			for _, qi := range qIdx {
-				if block[t].SubsetOf(queries[qi]) {
+				if bitvec.AndNotIsZero(block[t], queries[qi]) {
 					visit(qi, setID)
 				}
 			}

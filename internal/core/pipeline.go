@@ -340,76 +340,195 @@ func (e *Engine) blockingMatch(sig bitvec.Vector, tags map[string]struct{}, uniq
 	}
 }
 
-// preprocessWorker implements the pre-process stage (Algorithm 2): find
-// the partitions whose mask is a subset of the query and enqueue the
-// query into their batches.
-func (e *Engine) preprocessWorker() {
-	defer e.workerWg.Done()
-	var pids []uint32
-	for q := range e.inputCh {
-		idx := q.idx
-		var spent time.Duration // this query's routing time, dispatch excluded
-		t0 := time.Now()
-		pids = idx.pt.lookup(q.sig, pids[:0])
-		pids = append(pids, idx.maskless...)
-		e.partsSearched.Add(int64(len(pids)))
-		for _, pid := range pids {
-			q.pending.Add(1)
-			if full := e.appendToBatch(idx, pid, q); full != nil {
-				spent += time.Since(t0)
-				e.dispatch(idx, full, dispatchFull)
-				t0 = time.Now()
-			}
-		}
-		spent += time.Since(t0)
-		e.preprocessNs.Add(int64(spent))
-		if e.obs.On {
-			e.obs.Preprocess.ObserveDuration(spent)
-		}
-		q.trace.Event(obs.StagePreprocess, -1, int64(len(pids)))
-		// Drop the pre-processing guard; completes the query now if it
-		// matched no partitions (or they all finished already).
-		q.finish(e, 1)
-		e.notifyProgress()
-	}
+// routeMergeAppends caps how many (query, partition) appends a
+// pre-process worker buffers locally before merging into the shared
+// per-partition batches. Merges also happen whenever the input channel
+// is momentarily empty, so the cap only bounds buffering (and thus
+// added latency) under sustained load, where batch fill dominates
+// latency anyway.
+const routeMergeAppends = 1024
+
+// routeAccum is a pre-process worker's local batch accumulator: routed
+// (query, partition) appends collected across a burst of queries and
+// merged into the shared per-partition open batches in bulk, one
+// partition-lock acquisition per (burst, partition) instead of one per
+// (query, partition). Worker-local, so accumulation itself is
+// lock-free; all slices keep their capacity across bursts.
+type routeAccum struct {
+	idx     *index       // generation the buffered appends belong to
+	slots   [][]*query   // queries routed to each partition this burst
+	touched []uint32     // partitions with a non-empty slot
+	pending int          // buffered appends across all slots
+	full    []*openBatch // merge-time scratch for batches that filled
 }
 
-// appendToBatch adds the query to the partition's open batch and returns
-// the batch if it just became full. Opening a batch marks the partition
-// dirty so flush passes visit it.
-func (e *Engine) appendToBatch(idx *index, pid uint32, q *query) *openBatch {
-	p := &idx.parts[pid]
-	idx.locks[pid].Lock()
-	if p.batch == nil {
-		p.batch = e.pools.getBatch(pid, e.cfg.BatchSize)
-		if !p.dirty {
-			// Mark inside the partition lock: flag and list membership
-			// stay in lock step, so the list never holds duplicates.
-			p.dirty = true
-			idx.markDirty(pid)
+// bind points the accumulator at an index generation. The caller must
+// have merged (pending == 0), so every retained slot is empty.
+func (a *routeAccum) bind(idx *index) {
+	a.idx = idx
+	if n := len(idx.parts); cap(a.slots) < n {
+		a.slots = make([][]*query, n)
+	} else {
+		a.slots = a.slots[:n]
+	}
+	a.touched = a.touched[:0]
+	a.pending = 0
+}
+
+// routeState is the per-worker scratch of the pre-process stage.
+type routeState struct {
+	pids []uint32 // routed partition ids, reused across queries
+	ones []int    // the query signature's one-bit positions, computed once
+	acc  routeAccum
+}
+
+// preprocessWorker implements the pre-process stage (Algorithm 2): find
+// the partitions whose mask is a subset of the query and enqueue the
+// query into their batches. Routing uses the bit-sliced partition table
+// (Config.ScalarRouting selects the retained scalar scan), and batch
+// appends accumulate worker-locally across a burst of queries — as many
+// as are immediately available on the input channel, up to
+// routeMergeAppends appends — before merging into the shared batches in
+// bulk. A worker always merges before blocking for more input, so no
+// query ever waits in a local accumulator while the pipeline is idle.
+func (e *Engine) preprocessWorker() {
+	defer e.workerWg.Done()
+	var w routeState
+	for q := range e.inputCh {
+		e.routeOne(&w, q)
+	collect:
+		for w.acc.pending < routeMergeAppends {
+			select {
+			case q2, ok := <-e.inputCh:
+				if !ok {
+					break collect // merge below; the outer range exits next
+				}
+				e.routeOne(&w, q2)
+			default:
+				break collect
+			}
 		}
+		e.mergeRoutes(&w.acc)
+		e.notifyProgress()
 	}
-	b := p.batch
-	b.queries = append(b.queries, q)
-	b.sigs = append(b.sigs, q.sig)
-	fill := len(b.queries)
-	full := fill >= e.cfg.BatchSize
-	if full {
-		// The partition stays dirty (its id stays listed) until the next
-		// flush visit notices the batch is gone and clears the flag.
-		p.batch = nil
+	e.mergeRoutes(&w.acc) // safety net; a clean exit already merged
+}
+
+// routeOne runs Algorithm 2 for one query and buffers its batch appends
+// in the worker's accumulator. The routing guard (+1 pending) drops
+// here: the buffered appends already hold their own pending references,
+// so a query routed to no partition completes immediately and one
+// routed somewhere cannot complete before its last batch reduces.
+func (e *Engine) routeOne(w *routeState, q *query) {
+	idx := q.idx
+	if w.acc.idx != idx {
+		// Index generation changed under the accumulator (Consolidate
+		// swapped it): flush the buffered appends of the old generation
+		// before touching the new one.
+		e.mergeRoutes(&w.acc)
+		w.acc.bind(idx)
 	}
-	idx.locks[pid].Unlock()
-	if c := e.partCounters(pid); c != nil {
-		c.QueriesRouted.Add(1)
+	t0 := time.Now()
+	// One pass over the signature serves both the bin walk (scalar and
+	// sliced lookups take the precomputed one-bit positions) and the
+	// trace below — the old path re-walked the signature with NextOne.
+	w.ones = q.sig.Ones(w.ones[:0])
+	if e.cfg.ScalarRouting {
+		w.pids = idx.pt.lookup(q.sig, w.ones, w.pids[:0])
+		e.obs.Routing.ScalarQueries.Add(1)
+	} else {
+		w.pids = idx.pt.lookupSliced(q.sig, w.ones, w.pids[:0])
+		e.obs.Routing.SlicedQueries.Add(1)
+	}
+	w.pids = append(w.pids, idx.maskless...)
+	e.partsSearched.Add(int64(len(w.pids)))
+	for _, pid := range w.pids {
+		q.pending.Add(1)
+		if len(w.acc.slots[pid]) == 0 {
+			w.acc.touched = append(w.acc.touched, pid)
+		}
+		w.acc.slots[pid] = append(w.acc.slots[pid], q)
+	}
+	w.acc.pending += len(w.pids)
+	spent := time.Since(t0)
+	e.preprocessNs.Add(int64(spent))
+	if e.obs.On {
+		// Per-query routing time; the bulk-merge time is accounted to
+		// preprocessNs by mergeRoutes but not attributed per query.
+		e.obs.Preprocess.ObserveDuration(spent)
 	}
 	if q.trace != nil {
-		q.trace.Event("batch", int32(pid), int64(fill))
+		q.trace.Event("route-bins", -1, int64(len(w.ones)))
+		q.trace.Event(obs.StagePreprocess, -1, int64(len(w.pids)))
 	}
-	if full {
-		return b
+	q.finish(e, 1)
+}
+
+// mergeRoutes drains the accumulator into the shared per-partition open
+// batches: one partition-lock acquisition per touched partition for the
+// whole burst. Batches that fill during the merge are detached under
+// the lock and dispatched after it is released, exactly like the old
+// per-append path; partially filled batches stay open for the flusher.
+func (e *Engine) mergeRoutes(acc *routeAccum) {
+	if acc.pending == 0 {
+		return
 	}
-	return nil
+	idx := acc.idx
+	t0 := time.Now()
+	full := acc.full[:0]
+	for _, pid := range acc.touched {
+		qs := acc.slots[pid]
+		p := &idx.parts[pid]
+		idx.locks[pid].Lock()
+		for len(qs) > 0 {
+			if p.batch == nil {
+				p.batch = e.pools.getBatch(pid, e.cfg.BatchSize)
+				if !p.dirty {
+					// Mark inside the partition lock: flag and list
+					// membership stay in lock step, so the dirty list
+					// never holds duplicates.
+					p.dirty = true
+					idx.markDirty(pid)
+				}
+			}
+			b := p.batch
+			take := e.cfg.BatchSize - len(b.queries)
+			if take > len(qs) {
+				take = len(qs)
+			}
+			for _, q := range qs[:take] {
+				b.queries = append(b.queries, q)
+				b.sigs = append(b.sigs, q.sig)
+				if q.trace != nil {
+					q.trace.Event("batch", int32(pid), int64(len(b.queries)))
+				}
+			}
+			qs = qs[take:]
+			if len(b.queries) >= e.cfg.BatchSize {
+				// The partition stays dirty (its id stays listed) until
+				// the next flush visit notices the batch is gone and
+				// clears the flag.
+				p.batch = nil
+				full = append(full, b)
+			}
+		}
+		idx.locks[pid].Unlock()
+		if c := e.partCounters(pid); c != nil {
+			c.QueriesRouted.Add(int64(len(acc.slots[pid])))
+		}
+		clear(acc.slots[pid]) // drop query refs; they recycle independently
+		acc.slots[pid] = acc.slots[pid][:0]
+	}
+	e.obs.Routing.MergeLockAcqs.Add(int64(len(acc.touched)))
+	e.obs.Routing.MergedAppends.Add(int64(acc.pending))
+	acc.touched = acc.touched[:0]
+	acc.pending = 0
+	e.preprocessNs.Add(int64(time.Since(t0)))
+	for _, b := range full {
+		e.dispatch(idx, b, dispatchFull)
+	}
+	clear(full) // drop batch refs; reduceOne recycles them
+	acc.full = full[:0]
 }
 
 // markDirty appends pid to the dirty-partition list. Callers hold the

@@ -31,7 +31,7 @@ func TestPartitionTableLookupFindsAllSubsetMasks(t *testing.T) {
 	}
 
 	q := bitvec.FromOnes(1, 5, 100)
-	got := pt.lookup(q, nil)
+	got := pt.lookup(q, q.Ones(nil), nil)
 	want := map[uint32]bool{0: true, 1: true, 2: true, 4: true}
 	if len(got) != len(want) {
 		t.Fatalf("lookup returned %v, want ids %v", got, want)
@@ -49,7 +49,7 @@ func TestPartitionTableLookupNoDuplicates(t *testing.T) {
 	m := bitvec.FromOnes(3, 9, 50)
 	pt, _ := buildPartitionTable(buildParts(m))
 	q := bitvec.FromOnes(3, 9, 50, 80)
-	got := pt.lookup(q, nil)
+	got := pt.lookup(q, q.Ones(nil), nil)
 	if len(got) != 1 || got[0] != 0 {
 		t.Fatalf("lookup = %v, want exactly [0]", got)
 	}
@@ -57,7 +57,7 @@ func TestPartitionTableLookupNoDuplicates(t *testing.T) {
 
 func TestPartitionTableLookupEmptyQuery(t *testing.T) {
 	pt, _ := buildPartitionTable(buildParts(bitvec.FromOnes(1)))
-	if got := pt.lookup(bitvec.Vector{}, nil); len(got) != 0 {
+	if got := pt.lookup(bitvec.Vector{}, nil, nil); len(got) != 0 {
 		t.Fatalf("empty query matched %v", got)
 	}
 }
@@ -88,7 +88,7 @@ func TestPartitionTableAgainstBruteForce(t *testing.T) {
 	queries := randomSets(100, 8, 12)
 	for _, q := range queries {
 		got := map[uint32]bool{}
-		for _, pid := range pt.lookup(q, nil) {
+		for _, pid := range pt.lookup(q, q.Ones(nil), nil) {
 			if got[pid] {
 				t.Fatalf("duplicate pid %d for query %s", pid, q.Hex())
 			}
@@ -104,7 +104,7 @@ func TestPartitionTableAgainstBruteForce(t *testing.T) {
 	}
 }
 
-func BenchmarkPartitionLookup(b *testing.B) {
+func benchLookup(b *testing.B, fn func(pt *partitionTable, q bitvec.Vector, qOnes []int, dst []uint32) []uint32) {
 	sets := randomSets(200000, 5, 13)
 	specs := balancedPartition(sets, 1000)
 	parts := make([]partition, len(specs))
@@ -113,10 +113,22 @@ func BenchmarkPartitionLookup(b *testing.B) {
 	}
 	pt, _ := buildPartitionTable(parts)
 	queries := randomSets(1024, 8, 14)
+	ones := make([][]int, len(queries))
+	for i, q := range queries {
+		ones[i] = q.Ones(nil)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var dst []uint32
 	for i := 0; i < b.N; i++ {
-		dst = pt.lookup(queries[i&1023], dst[:0])
+		dst = fn(pt, queries[i&1023], ones[i&1023], dst[:0])
 	}
+}
+
+func BenchmarkPartitionLookupScalar(b *testing.B) {
+	benchLookup(b, (*partitionTable).lookup)
+}
+
+func BenchmarkPartitionLookupSliced(b *testing.B) {
+	benchLookup(b, (*partitionTable).lookupSliced)
 }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"time"
+
+	"tagmatch/internal/bitvec"
+)
+
+// RoutingBenchmark measures the pre-process routing lookup (Algorithm 2)
+// in isolation: it partitions sigs with the balanced partitioner, builds
+// the partition table, and times iters passes of every query through the
+// scalar scan and through the bit-sliced lookup. It returns the
+// nanoseconds per query of each flavor and the number of partitions the
+// table indexes. The query signatures' one-bit positions are precomputed
+// once, exactly as the pipeline's pre-process workers do, so the timings
+// cover only the table scan itself.
+func RoutingBenchmark(sigs []bitvec.Vector, maxP int, queries []bitvec.Vector, iters int) (scalarNs, slicedNs float64, partitions int) {
+	specs := balancedPartition(sigs, maxP)
+	parts := make([]partition, len(specs))
+	for i, s := range specs {
+		parts[i] = partition{mask: s.mask}
+	}
+	pt, _ := buildPartitionTable(parts)
+	ones := make([][]int, len(queries))
+	for i, q := range queries {
+		ones[i] = q.Ones(nil)
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	n := float64(iters * len(queries))
+	var dst []uint32
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		for i, q := range queries {
+			dst = pt.lookup(q, ones[i], dst[:0])
+		}
+	}
+	scalarNs = float64(time.Since(t0)) / n
+	t0 = time.Now()
+	for it := 0; it < iters; it++ {
+		for i, q := range queries {
+			dst = pt.lookupSliced(q, ones[i], dst[:0])
+		}
+	}
+	slicedNs = float64(time.Since(t0)) / n
+	return scalarNs, slicedNs, len(parts)
+}

@@ -142,6 +142,13 @@ type Config struct {
 	// delay, up to 64x. Defaults to 250ms.
 	QuarantineBackoff time.Duration
 
+	// ScalarRouting replaces the bit-sliced (column-transposed)
+	// partition-table lookup of the pre-process stage with the retained
+	// scalar Algorithm 2 scan — one three-word subset test per candidate
+	// mask (ablation; the preprocess benchmark measures the two paths
+	// against each other). Results are identical either way.
+	ScalarRouting bool
+
 	// DisablePooling turns off the hot-path buffer recycling (query
 	// structs, batches, result carriers, reduce scratch), allocating
 	// fresh objects for every query and batch instead. Used by the
@@ -223,6 +230,15 @@ type Stats struct {
 	KeysDelivered      int64 `json:"keys_delivered"`
 	ResultOverflows    int64 `json:"result_overflows"`
 	PartitionsSearched int64 `json:"partitions_searched"`
+
+	// Routing counters (mirrors of obs.RoutingCounters): queries per
+	// lookup flavor and the lock amortization of the worker-local batch
+	// accumulators (RouteAppends / RouteMergeLocks ≥ 1; per-append
+	// locking would pin it at 1).
+	RoutedSliced    int64 `json:"routed_sliced"`
+	RoutedScalar    int64 `json:"routed_scalar"`
+	RouteMergeLocks int64 `json:"route_merge_locks"`
+	RouteAppends    int64 `json:"route_appends"`
 
 	// Fault-tolerance counters (mirrors of obs.FaultCounters): failed
 	// GPU batch attempts, re-dispatches, host re-runs, circuit-breaker

@@ -56,6 +56,59 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteBenchstat emits the table in Go benchmark output format, one line
+// per row with a value-unit pair per column, so two runs can be compared
+// with benchstat:
+//
+//	tagmatch-bench -format benchstat preprocess > old.txt
+//	... change ...
+//	tagmatch-bench -format benchstat preprocess > new.txt
+//	benchstat old.txt new.txt
+//
+// Row labels and column names are sanitized into benchmark-name and unit
+// tokens (no spaces); the iteration count is always 1.
+func (t *Table) WriteBenchstat(w io.Writer) error {
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "Benchmark%s/%s 1", benchToken(t.ID), benchToken(r.Label)); err != nil {
+			return err
+		}
+		for i, v := range r.Values {
+			unit := "value"
+			if i < len(t.Cols) {
+				unit = benchToken(t.Cols[i])
+			}
+			if _, err := fmt.Fprintf(w, " %s %s", strconv.FormatFloat(v, 'g', -1, 64), unit); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchToken rewrites a free-form label into a single benchmark token:
+// spaces and commas collapse to dashes, everything else passes through
+// (benchstat accepts '/' in names and in units like ns/q).
+func benchToken(s string) string {
+	out := make([]byte, 0, len(s))
+	dash := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == ',' || c == '\t' {
+			dash = true
+			continue
+		}
+		if dash && len(out) > 0 {
+			out = append(out, '-')
+		}
+		dash = false
+		out = append(out, c)
+	}
+	return string(out)
+}
+
 // DecodeJSONTable parses a table previously written by WriteJSON.
 func DecodeJSONTable(r io.Reader) (*Table, error) {
 	var jt jsonTable

@@ -265,3 +265,45 @@ func TestFamiliesSmoke(t *testing.T) {
 		t.Errorf("hash-table matcher should collapse with query width: %v", hs)
 	}
 }
+
+func TestPreprocessSmoke(t *testing.T) {
+	p := tinyParams()
+	p.Queries = 600
+	tb, r := Preprocess(p)
+	checkTable(t, tb, 2)
+	if r.ScalarNsPerQuery <= 0 || r.SlicedNsPerQuery <= 0 || r.Partitions <= 0 {
+		t.Fatalf("bad routing numbers: %+v", r)
+	}
+	if len(r.E2E) != 2 {
+		t.Fatalf("e2e runs = %d, want 2 (scalar, sliced)", len(r.E2E))
+	}
+	for _, run := range r.E2E {
+		if run.QPS <= 0 {
+			t.Errorf("%s routing: qps=%v", run.Routing, run.QPS)
+		}
+		if run.RouteAppends > 0 && run.RouteMergeLocks > run.RouteAppends {
+			t.Errorf("%s routing: merge locks %d > appends %d",
+				run.Routing, run.RouteMergeLocks, run.RouteAppends)
+		}
+	}
+	// The tiny table is too small for the full 2x bar, but sliced must
+	// never be slower than the scalar scan it replaces.
+	if r.SlicedNsPerQuery > r.ScalarNsPerQuery {
+		t.Errorf("sliced lookup slower than scalar: %v ns/q vs %v ns/q",
+			r.SlicedNsPerQuery, r.ScalarNsPerQuery)
+	}
+}
+
+func TestWriteBenchstat(t *testing.T) {
+	tb := &Table{ID: "demo", Cols: []string{"Kq/s", "p50 us"}}
+	tb.Add("cpu, pooling on", 12.5, 340)
+	var sb strings.Builder
+	if err := tb.WriteBenchstat(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "Benchmarkdemo/cpu-pooling-on 1 12.5 Kq/s 340 p50-us\n"
+	if got != want {
+		t.Fatalf("benchstat line:\n got %q\nwant %q", got, want)
+	}
+}

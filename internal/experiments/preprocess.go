@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tagmatch/internal/core"
+)
+
+// PreprocessRun is one end-to-end engine measurement of the routing
+// comparison: the lookup flavor and the achieved throughput.
+type PreprocessRun struct {
+	Routing string    `json:"routing"` // "scalar" or "sliced"
+	QPS     float64   `json:"qps"`
+	RunsQPS []float64 `json:"runs_qps"`
+
+	// Lock amortization of the worker-local batch accumulators during
+	// the measured runs (appends / locks ≥ 1; per-append locking is 1).
+	RouteMergeLocks int64 `json:"route_merge_locks"`
+	RouteAppends    int64 `json:"route_appends"`
+}
+
+// PreprocessResult is the JSON shape of the routing before/after
+// comparison (BENCH_preprocess.json): the isolated Algorithm 2 lookup
+// cost per query for the scalar scan vs. the bit-sliced table, and the
+// end-to-end throughput of engines using each flavor.
+type PreprocessResult struct {
+	Partitions       int     `json:"partitions"`
+	Queries          int     `json:"queries"`
+	ScalarNsPerQuery float64 `json:"scalar_ns_per_query"`
+	SlicedNsPerQuery float64 `json:"sliced_ns_per_query"`
+	// Speedup is scalar/sliced routing time: the acceptance bar for the
+	// bit-sliced index is ≥ 2.
+	Speedup float64         `json:"routing_speedup"`
+	E2E     []PreprocessRun `json:"e2e"`
+}
+
+// Preprocess measures the pre-process stage's routing overhaul: the
+// bit-sliced partition lookup against the retained scalar Algorithm 2
+// scan, first in isolation (table scan only, alternating flavors over
+// identical queries), then end to end through engines differing only in
+// Config.ScalarRouting. Medians of repeated runs are reported.
+func Preprocess(p Params) (*Table, *PreprocessResult) {
+	ds := BuildDataset(p)
+
+	// Isolated routing cost, measured over the FULL dataset slice: the
+	// partition table a consolidated engine would actually route
+	// against. (The end-to-end engines below use the smaller 0.25 slice
+	// so five engine builds per flavor stay affordable.) Flavors
+	// alternate across reps so host drift hits both equally, then
+	// per-flavor medians are taken.
+	routeSigs, _ := ds.Slice(1.0)
+	routeQueries := ds.Queries(4096, 1.0, -1, p.Seed+4000)
+	const reps = 5
+	iters := p.Queries / len(routeQueries)
+	if iters < 1 {
+		iters = 1
+	}
+	var scalarNs, slicedNs []float64
+	var partitions int
+	for rep := 0; rep < reps; rep++ {
+		sc, sl, parts := core.RoutingBenchmark(routeSigs, ds.BaseMaxP(), routeQueries, iters)
+		scalarNs = append(scalarNs, sc)
+		slicedNs = append(slicedNs, sl)
+		partitions = parts
+	}
+	scMed, slMed := medianFloat(scalarNs), medianFloat(slicedNs)
+
+	res := &PreprocessResult{
+		Partitions:       partitions,
+		Queries:          p.Queries,
+		ScalarNsPerQuery: scMed,
+		SlicedNsPerQuery: slMed,
+		Speedup:          scMed / slMed,
+	}
+	t := &Table{
+		ID:    "preprocess",
+		Title: "Bit-sliced partition routing: lookup cost and end-to-end throughput",
+		Cols:  []string{"route ns/q", "Kq/s"},
+	}
+
+	// End-to-end: identical engines, identical query stream, only the
+	// routing flavor differs.
+	sigs, keys := ds.Slice(0.25)
+	queries := ds.Queries(4096, 0.25, -1, p.Seed+4000)
+	for _, flavor := range []struct {
+		name   string
+		scalar bool
+	}{{"scalar", true}, {"sliced", false}} {
+		eng, devs, err := BuildEngine(EngineSpec{
+			Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: p.GPUs,
+			MaxP:   ds.BaseMaxP(),
+			Mutate: func(c *core.Config) { c.ScalarRouting = flavor.scalar },
+		})
+		if err != nil {
+			panic(err)
+		}
+		run := PreprocessRun{Routing: flavor.name}
+		var qps []float64
+		for rep := 0; rep < reps; rep++ {
+			r := MeasureEngine(eng, queries, p.Queries, false)
+			qps = append(qps, r.QPS)
+			run.RunsQPS = append(run.RunsQPS, r.QPS)
+		}
+		st := eng.Stats()
+		run.RouteMergeLocks, run.RouteAppends = st.RouteMergeLocks, st.RouteAppends
+		eng.Close()
+		closeDevices(devs)
+		run.QPS = medianFloat(qps)
+		res.E2E = append(res.E2E, run)
+
+		nsPerQ := scMed
+		if !flavor.scalar {
+			nsPerQ = slMed
+		}
+		t.Add(fmt.Sprintf("%s routing", flavor.name), nsPerQ, run.QPS/1e3)
+	}
+	t.Note("routing lookup: %.0f ns/q scalar -> %.0f ns/q sliced (%.1fx) over %d partitions; median of %d runs",
+		scMed, slMed, res.Speedup, partitions, reps)
+	if len(res.E2E) == 2 && res.E2E[1].RouteMergeLocks > 0 {
+		t.Note("batch merge amortization: %.1f appends per partition-lock acquisition",
+			float64(res.E2E[1].RouteAppends)/float64(res.E2E[1].RouteMergeLocks))
+	}
+	return t, res
+}
+
+func medianFloat(v []float64) float64 {
+	s := SortedCopy(v)
+	return s[len(s)/2]
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *PreprocessResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -73,6 +73,11 @@ type Pipeline struct {
 	// On is false; see FaultCounters.
 	Faults FaultCounters
 
+	// Routing counts pre-process routing activity: lookup flavor per
+	// query and the lock amortization of the worker-local batch
+	// accumulators. Always recorded, like Faults; see RoutingCounters.
+	Routing RoutingCounters
+
 	// Tracer samples per-query traces.
 	Tracer *Tracer
 
@@ -150,6 +155,7 @@ type Snapshot struct {
 	Stages         []StageSnapshot     `json:"stages"`
 	BatchOccupancy HistSnapshot        `json:"batch_occupancy"`
 	Faults         FaultSnapshot       `json:"faults"`
+	Routing        RoutingSnapshot     `json:"routing"`
 	Gauges         map[string]float64  `json:"gauges,omitempty"`
 	HotPartitions  []PartitionSnapshot `json:"hot_partitions,omitempty"`
 	Partitions     []PartitionSnapshot `json:"partitions,omitempty"`
@@ -187,6 +193,7 @@ func (p *Pipeline) Snapshot(includeAllPartitions bool) Snapshot {
 		Stages:         p.Stages(),
 		BatchOccupancy: p.BatchOccupancy.Snapshot(),
 		Faults:         p.Faults.Snapshot(),
+		Routing:        p.Routing.Snapshot(),
 		HotPartitions:  p.Parts.Hottest(p.topPartitions),
 		Traces:         p.Tracer.Recent(),
 	}
@@ -232,6 +239,7 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 		"Queries per batch at dispatch time.",
 		nil, p.BatchOccupancy.Snapshot(), 1)
 	p.Faults.writeProm(w)
+	p.Routing.writeProm(w)
 
 	p.gaugeMu.Lock()
 	gauges := append([]gauge(nil), p.gauges...)

@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke obs-smoke obsdiff-gate clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
 ## concurrency-heavy packages, the chaos (fault-injection) suite, a
-## short allocation-tracking benchmark pass over the hot path, and a
-## reduced-scale smoke run of the routing experiment.
-check: vet build test race chaos bench-smoke bench-preprocess-smoke
+## short allocation-tracking benchmark pass over the hot path, a
+## reduced-scale smoke run of the routing experiment, the observability
+## export smoke test, and the perf budgets on checked-in baselines.
+check: vet build test race chaos bench-smoke bench-preprocess-smoke obs-smoke obsdiff-gate
 
 build:
 	$(GO) build ./...
@@ -39,7 +40,7 @@ bench-smoke:
 		-benchtime=100x -benchmem ./internal/core/
 
 ## bench-obs: measure the observability layer's throughput overhead and
-## write BENCH_obs.json (budget <5%).
+## write BENCH_obs.json (budget <2%, gated by obsdiff-gate).
 bench-obs:
 	$(GO) run ./cmd/tagmatch-bench obs-overhead
 
@@ -65,6 +66,26 @@ bench-preprocess:
 ## the committed BENCH_preprocess.json.
 bench-preprocess-smoke:
 	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files preprocess
+
+## obs-smoke: boot a server, push traffic, and assert the export
+## surfaces are well-formed — /metrics parses as Prometheus exposition
+## (with the GPU overlap/utilization/op-latency families), /debug/timeline
+## parses as a Chrome trace-event file, /debug/stats carries the latency
+## attribution table.
+obs-smoke:
+	$(GO) test -race -count=1 -run TestObsSmoke ./internal/httpserver/
+
+## obsdiff-gate: the perf-regression gate — budget assertions against
+## the checked-in BENCH_*.json baselines via cmd/tagmatch-obsdiff
+## (which exits non-zero on a violated budget). Regenerate baselines
+## with the bench-* targets when an intentional perf change lands.
+obsdiff-gate:
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'overhead_pct<=2' BENCH_obs.json
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'results_match>=1' -assert 'cpu_fallbacks>=1' BENCH_chaos.json
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'routing_speedup>=2' BENCH_preprocess.json
 
 clean:
 	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json

@@ -1,0 +1,167 @@
+// Command tagmatch-obsdiff is the repository's perf-regression gate: a
+// benchstat-style differ for the BENCH_*.json files cmd/tagmatch-bench
+// emits. It runs in two modes:
+//
+// Diff mode — compare two result files and fail past a threshold:
+//
+//	tagmatch-obsdiff [-threshold 5] old.json new.json
+//
+// Every metric present in both files is compared; direction is inferred
+// from the metric name (qps/speedup up is good; ns/us/pct/allocs/bytes
+// down is good; bare counters are informational). A directional metric
+// worse by more than -threshold percent is a regression, and the exit
+// status is 1 (2 for usage/IO errors).
+//
+// Assert mode — check budgets against a single file, for checked-in
+// baselines where a stored "old" run on different hardware would be
+// meaningless:
+//
+//	tagmatch-obsdiff -assert "overhead_pct<=2" -assert "results_match>=1" file.json
+//
+// Metric keys are the flattened JSON paths: nested objects dot-join
+// ("e2e.p99_us"), object-array elements are labeled by their identity
+// fields ("e2e[routing=sliced].qps"). Run with -v to list every key.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"tagmatch/internal/benchdiff"
+)
+
+type assertList []string
+
+func (a *assertList) String() string     { return fmt.Sprint(*a) }
+func (a *assertList) Set(s string) error { *a = append(*a, s); return nil }
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var asserts assertList
+	threshold := flag.Float64("threshold", 5,
+		"regression threshold in percent for diff mode")
+	verbose := flag.Bool("v", false, "print every compared metric, not just regressions")
+	flag.Var(&asserts, "assert",
+		"budget check `key<=value` against a single file (repeatable; ops: <= >= < > ==)")
+	flag.Parse()
+
+	if len(asserts) > 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: tagmatch-obsdiff -assert 'key<=value' [...] file.json")
+			return 2
+		}
+		return runAsserts(flag.Arg(0), asserts, *verbose)
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tagmatch-obsdiff [-threshold pct] old.json new.json")
+		return 2
+	}
+	return runDiff(flag.Arg(0), flag.Arg(1), *threshold, *verbose)
+}
+
+func load(path string) (map[string]float64, int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagmatch-obsdiff: %v\n", err)
+		return nil, 2
+	}
+	m, err := benchdiff.Parse(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagmatch-obsdiff: %s: %v\n", path, err)
+		return nil, 2
+	}
+	return m, 0
+}
+
+func runAsserts(path string, exprs []string, verbose bool) int {
+	metrics, code := load(path)
+	if code != 0 {
+		return code
+	}
+	if verbose {
+		printMetrics(metrics)
+	}
+	failed := 0
+	for _, expr := range exprs {
+		a, err := benchdiff.ParseAssertion(expr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tagmatch-obsdiff: %v\n", err)
+			return 2
+		}
+		if err := a.Eval(metrics); err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			failed++
+		} else {
+			fmt.Printf("ok   %s: %s\n", path, expr)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d budget checks failed\n", failed, len(exprs))
+		return 1
+	}
+	return 0
+}
+
+func runDiff(oldPath, newPath string, threshold float64, verbose bool) int {
+	oldM, code := load(oldPath)
+	if code != 0 {
+		return code
+	}
+	newM, code := load(newPath)
+	if code != 0 {
+		return code
+	}
+	rep := benchdiff.Compare(oldM, newM, threshold)
+
+	for _, row := range rep.Rows {
+		if !row.Regression && !verbose {
+			continue
+		}
+		status := "  "
+		if row.Regression {
+			status = "!!"
+		}
+		fmt.Printf("%s %-55s %14.4g → %-14.4g %s (%s)\n",
+			status, row.Key, row.Old, row.New, fmtDelta(row.DeltaPct), row.Direction)
+	}
+	if verbose {
+		for _, k := range rep.OnlyOld {
+			fmt.Printf("   %-55s only in %s\n", k, oldPath)
+		}
+		for _, k := range rep.OnlyNew {
+			fmt.Printf("   %-55s only in %s\n", k, newPath)
+		}
+	}
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Printf("%d regression(s) past %.3g%% between %s and %s\n",
+			len(regs), threshold, oldPath, newPath)
+		return 1
+	}
+	fmt.Printf("no regressions past %.3g%% (%d metrics compared)\n",
+		threshold, len(rep.Rows))
+	return 0
+}
+
+func fmtDelta(pct float64) string {
+	if math.IsNaN(pct) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.2f%%", pct)
+}
+
+func printMetrics(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("   %-55s %g\n", k, m[k])
+	}
+}

@@ -17,15 +17,17 @@
 //
 //	tagmatch-server [-addr :8080] [-gpus 2] [-threads 4] [-exact]
 //	                [-max-inflight 0] [-shutdown-timeout 10s]
-//	                [-trace 1000] [-stats-log 30s]
+//	                [-trace 1000] [-stats-log 30s] [-pprof]
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers exposed only with -pprof (see below)
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +50,8 @@ func main() {
 	trace := flag.Int("trace", 0, "sample one query in N for full pipeline tracing (0 = off)")
 	statsLog := flag.Duration("stats-log", 30*time.Second,
 		"interval between stats log lines (0 = off)")
+	pprofFlag := flag.Bool("pprof", false,
+		"expose net/http/pprof under /debug/pprof/ (CPU profiles carry stage/device goroutine labels)")
 	flag.Parse()
 
 	eng, err := tagmatch.New(tagmatch.Config{
@@ -57,6 +61,7 @@ func main() {
 		MaxInFlight:  *maxInflight,
 		ExactVerify:  *exact,
 		TraceEvery:   *trace,
+		Logger:       slog.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,8 +78,18 @@ func main() {
 	}
 	log.Printf("tagmatch-server listening on %s (%d simulated GPUs, %d threads, exact=%v, max-inflight=%d, trace=1/%d)",
 		ln.Addr(), *gpus, *threads, *exact, *maxInflight, *trace)
+	handler := httpserver.Handler(eng)
+	if *pprofFlag {
+		// net/http/pprof registers on the default mux at import; expose
+		// it only when asked, keeping the API mux as the fallback.
+		root := http.NewServeMux()
+		root.Handle("/debug/pprof/", http.DefaultServeMux)
+		root.Handle("/", handler)
+		handler = root
+		log.Printf("pprof enabled at /debug/pprof/ (worker goroutines carry stage=/device= labels)")
+	}
 	srv := &http.Server{
-		Handler:           httpserver.Handler(eng),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,313 @@
+// Package benchdiff compares the BENCH_*.json result files emitted by
+// cmd/tagmatch-bench, in the spirit of benchstat: it flattens two result
+// documents into aligned metric sets, classifies each metric's
+// improvement direction from its name (qps up is good, ns/alloc/overhead
+// down is good), and reports regressions past a threshold. It also
+// evaluates standalone budget assertions ("overhead_pct<=2") against a
+// single file, which is how `make check` gates checked-in baselines.
+//
+// cmd/tagmatch-obsdiff is the CLI around this package.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Direction is a metric's improvement sense.
+type Direction int8
+
+const (
+	// Neutral metrics (counters, configuration echo) are reported but
+	// never gate.
+	Neutral Direction = iota
+	// HigherBetter metrics regress when they drop (throughput).
+	HigherBetter
+	// LowerBetter metrics regress when they grow (latency, overhead).
+	LowerBetter
+)
+
+func (d Direction) String() string {
+	switch d {
+	case HigherBetter:
+		return "higher"
+	case LowerBetter:
+		return "lower"
+	default:
+		return "neutral"
+	}
+}
+
+// higherTokens and lowerTokens classify a metric by the tokens of its
+// final path segment. Higher wins ties (none currently collide).
+var (
+	higherTokens = []string{"qps", "throughput", "speedup", "ops_per_sec", "results_match", "hit_rate"}
+	lowerTokens  = []string{
+		"ns", "us", "ms", "seconds", "latency", "p50", "p90", "p99", "max",
+		"pct", "overhead", "slowdown", "allocs", "bytes", "errors", "overflows",
+	}
+)
+
+// Classify returns the improvement direction inferred from a flattened
+// metric key. Only the leaf segment (after the last '.') is considered,
+// so element labels like "[routing=sliced]" never influence direction.
+func Classify(key string) Direction {
+	leaf := key
+	if i := strings.LastIndex(leaf, "."); i >= 0 {
+		leaf = leaf[i+1:]
+	}
+	toks := strings.Split(leaf, "_")
+	has := func(list []string) bool {
+		for _, want := range list {
+			if strings.Contains(leaf, want) && len(strings.Split(want, "_")) > 1 {
+				return true
+			}
+			for _, tok := range toks {
+				if tok == want {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	switch {
+	case has(higherTokens):
+		return HigherBetter
+	case has(lowerTokens):
+		return LowerBetter
+	default:
+		return Neutral
+	}
+}
+
+// labelFields identify an element of an object array, tried in order;
+// every matching field contributes to the element's key segment.
+var labelFields = []string{"config", "routing", "name", "pooling", "device", "stage"}
+
+// Flatten converts a decoded JSON document into flat metric keys:
+// nested objects dot-join their keys, arrays of objects label elements
+// by their identity fields (config/routing/name/..., falling back to
+// the index), booleans map to 1/0, and arrays of numbers — per-run
+// sample lists — are skipped (the summary statistic next to them is the
+// comparable metric).
+func Flatten(doc any) map[string]float64 {
+	out := make(map[string]float64)
+	flattenInto(out, "", doc)
+	return out
+}
+
+func flattenInto(out map[string]float64, prefix string, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenInto(out, key, sub)
+		}
+	case []any:
+		if len(x) == 0 || !isObjectArray(x) {
+			return // numeric sample arrays carry no summary metric
+		}
+		for i, el := range x {
+			obj := el.(map[string]any)
+			seg, consumed := elementLabel(obj, i)
+			key := seg
+			if prefix != "" {
+				key = prefix + seg
+			}
+			// Identity fields became the element's label; flattening them
+			// again as metrics would just restate the key.
+			rest := make(map[string]any, len(obj))
+			for k, v := range obj {
+				if !consumed[k] {
+					rest[k] = v
+				}
+			}
+			flattenInto(out, key, rest)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func isObjectArray(x []any) bool {
+	for _, el := range x {
+		if _, ok := el.(map[string]any); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func elementLabel(obj map[string]any, idx int) (string, map[string]bool) {
+	var parts []string
+	consumed := map[string]bool{}
+	for _, f := range labelFields {
+		switch val := obj[f].(type) {
+		case string:
+			parts = append(parts, f+"="+val)
+			consumed[f] = true
+		case bool:
+			parts = append(parts, f+"="+strconv.FormatBool(val))
+			consumed[f] = true
+		}
+	}
+	if len(parts) == 0 {
+		return "[" + strconv.Itoa(idx) + "]", consumed
+	}
+	return "[" + strings.Join(parts, ",") + "]", consumed
+}
+
+// Parse decodes a benchmark result file into its flat metric set.
+func Parse(data []byte) (map[string]float64, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("benchdiff: parsing result file: %w", err)
+	}
+	if _, ok := doc.(map[string]any); !ok {
+		return nil, fmt.Errorf("benchdiff: result file is not a JSON object")
+	}
+	return Flatten(doc), nil
+}
+
+// Row is one compared metric.
+type Row struct {
+	Key       string
+	Direction Direction
+	Old, New  float64
+	// DeltaPct is the relative change in percent ((new-old)/|old|*100);
+	// NaN when old is zero and new differs.
+	DeltaPct float64
+	// Regression marks a gated metric whose change is worse than the
+	// comparison threshold in its harmful direction.
+	Regression bool
+}
+
+// Report is the outcome of a two-file comparison.
+type Report struct {
+	Rows []Row
+	// OnlyOld and OnlyNew list metrics present in one file only.
+	OnlyOld, OnlyNew []string
+	// ThresholdPct is the gate the comparison ran with.
+	ThresholdPct float64
+}
+
+// Regressions returns the rows flagged as regressions.
+func (r *Report) Regressions() []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.Regression {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Compare diffs two flattened metric sets. A directional metric whose
+// change is worse than thresholdPct percent — throughput down, or
+// latency/overhead up — is flagged as a regression. Neutral metrics are
+// reported with their change but never flagged.
+func Compare(old, new map[string]float64, thresholdPct float64) *Report {
+	rep := &Report{ThresholdPct: thresholdPct}
+	keys := make([]string, 0, len(old))
+	for k := range old {
+		if _, ok := new[k]; ok {
+			keys = append(keys, k)
+		} else {
+			rep.OnlyOld = append(rep.OnlyOld, k)
+		}
+	}
+	for k := range new {
+		if _, ok := old[k]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, k)
+		}
+	}
+	sort.Strings(keys)
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+
+	for _, k := range keys {
+		row := Row{Key: k, Direction: Classify(k), Old: old[k], New: new[k]}
+		switch {
+		case row.Old == row.New:
+			row.DeltaPct = 0
+		case row.Old == 0:
+			row.DeltaPct = math.NaN()
+		default:
+			row.DeltaPct = (row.New - row.Old) / math.Abs(row.Old) * 100
+		}
+		worse := math.IsNaN(row.DeltaPct) ||
+			(row.Direction == HigherBetter && row.DeltaPct < -thresholdPct) ||
+			(row.Direction == LowerBetter && row.DeltaPct > thresholdPct)
+		row.Regression = row.Direction != Neutral && worse
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Assertion is one parsed budget check: Key Op Bound.
+type Assertion struct {
+	Key   string
+	Op    string // "<=", ">=", "<", ">", "=="
+	Bound float64
+}
+
+// ParseAssertion parses "key<=value" (ops: <=, >=, <, >, ==). Spaces
+// around the operator are allowed.
+func ParseAssertion(s string) (Assertion, error) {
+	for _, op := range []string{"<=", ">=", "==", "<", ">"} {
+		i := strings.Index(s, op)
+		if i < 0 {
+			continue
+		}
+		key := strings.TrimSpace(s[:i])
+		val := strings.TrimSpace(s[i+len(op):])
+		if key == "" || val == "" {
+			return Assertion{}, fmt.Errorf("benchdiff: malformed assertion %q", s)
+		}
+		bound, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Assertion{}, fmt.Errorf("benchdiff: assertion %q: bad bound: %w", s, err)
+		}
+		return Assertion{Key: key, Op: op, Bound: bound}, nil
+	}
+	return Assertion{}, fmt.Errorf("benchdiff: assertion %q has no comparison operator", s)
+}
+
+// Eval checks the assertion against a metric set. The error explains a
+// violated or unevaluable assertion; nil means it holds.
+func (a Assertion) Eval(metrics map[string]float64) error {
+	v, ok := metrics[a.Key]
+	if !ok {
+		return fmt.Errorf("metric %q not present", a.Key)
+	}
+	holds := false
+	switch a.Op {
+	case "<=":
+		holds = v <= a.Bound
+	case ">=":
+		holds = v >= a.Bound
+	case "<":
+		holds = v < a.Bound
+	case ">":
+		holds = v > a.Bound
+	case "==":
+		holds = v == a.Bound
+	}
+	if !holds {
+		return fmt.Errorf("%s = %g, want %s %g", a.Key, v, a.Op, a.Bound)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package benchdiff
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[string]Direction{
+		"qps_on":                            HigherBetter,
+		"routing_speedup":                   HigherBetter,
+		"results_match":                     HigherBetter,
+		"e2e[routing=sliced].qps":           HigherBetter,
+		"overhead_pct":                      LowerBetter,
+		"slowdown_pct":                      LowerBetter,
+		"scalar_ns_per_query":               LowerBetter,
+		"p99_us":                            LowerBetter,
+		"allocs_per_query":                  LowerBetter,
+		"bytes_per_query":                   LowerBetter,
+		"queries":                           Neutral,
+		"gpus":                              Neutral,
+		"device_quarantines":                Neutral,
+		"seed":                              Neutral,
+		"e2e[routing=sliced].route_appends": Neutral,
+	}
+	for key, want := range cases {
+		if got := Classify(key); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestFlattenShapes(t *testing.T) {
+	doc := map[string]any{
+		"qps":    1000.0,
+		"ok":     true,
+		"runs":   []any{1.0, 2.0, 3.0}, // numeric samples: skipped
+		"notes":  "ignored",
+		"nested": map[string]any{"p99_us": 42.0},
+		"variants": []any{
+			map[string]any{"config": "cpu", "pooling": true, "qps": 10.0},
+			map[string]any{"config": "cpu", "pooling": false, "qps": 7.0},
+		},
+		"anon": []any{map[string]any{"v": 1.0}},
+	}
+	got := Flatten(doc)
+	want := map[string]float64{
+		"qps":                                    1000,
+		"ok":                                     1,
+		"nested.p99_us":                          42,
+		"variants[config=cpu,pooling=true].qps":  10,
+		"variants[config=cpu,pooling=false].qps": 7,
+		"anon[0].v":                              1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Flatten = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Flatten[%q] = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestDetectsSyntheticRegression is the acceptance check for the perf
+// gate: a 20% throughput drop (and a 20% overhead growth) must be
+// flagged at a 5% threshold, while neutral counters and improvements
+// pass silently.
+func TestDetectsSyntheticRegression(t *testing.T) {
+	old := map[string]float64{
+		"qps_on":       10000,
+		"overhead_pct": 1.0,
+		"p99_us":       500,
+		"queries":      6000,
+	}
+	new := map[string]float64{
+		"qps_on":       8000, // -20%: regression
+		"overhead_pct": 1.2,  // +20%: regression
+		"p99_us":       400,  // improvement
+		"queries":      7000, // neutral: never gates
+	}
+	rep := Compare(old, new, 5)
+	regs := rep.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("Regressions = %+v, want qps_on and overhead_pct", regs)
+	}
+	found := map[string]bool{}
+	for _, r := range regs {
+		found[r.Key] = true
+	}
+	if !found["qps_on"] || !found["overhead_pct"] {
+		t.Fatalf("wrong regressions flagged: %+v", regs)
+	}
+	for _, row := range rep.Rows {
+		if row.Key == "qps_on" && math.Abs(row.DeltaPct-(-20)) > 1e-9 {
+			t.Errorf("qps_on delta = %v, want -20", row.DeltaPct)
+		}
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	old := map[string]float64{"qps": 10000, "p99_us": 100}
+	new := map[string]float64{"qps": 9700, "p99_us": 103} // 3% worse both ways
+	if regs := Compare(old, new, 5).Regressions(); len(regs) != 0 {
+		t.Fatalf("3%% drift flagged at 5%% threshold: %+v", regs)
+	}
+	// The same drift gates at a 1% threshold.
+	if regs := Compare(old, new, 1).Regressions(); len(regs) != 2 {
+		t.Fatalf("3%% drift not flagged at 1%% threshold: %+v", regs)
+	}
+}
+
+func TestMissingAndExtraMetrics(t *testing.T) {
+	rep := Compare(
+		map[string]float64{"qps": 1, "gone": 2},
+		map[string]float64{"qps": 1, "added": 3}, 5)
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "gone" {
+		t.Fatalf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "added" {
+		t.Fatalf("OnlyNew = %v", rep.OnlyNew)
+	}
+}
+
+func TestZeroBaselineRegression(t *testing.T) {
+	// 0 → positive on a lower-better metric has no finite percent change;
+	// it must still gate.
+	rep := Compare(
+		map[string]float64{"errors": 0},
+		map[string]float64{"errors": 5}, 5)
+	if regs := rep.Regressions(); len(regs) != 1 {
+		t.Fatalf("0→5 errors not flagged: %+v", rep.Rows)
+	}
+}
+
+func TestAssertions(t *testing.T) {
+	metrics := map[string]float64{"overhead_pct": 1.4, "results_match": 1}
+	for _, tc := range []struct {
+		expr string
+		ok   bool
+	}{
+		{"overhead_pct<=2", true},
+		{"overhead_pct <= 1", false},
+		{"results_match>=1", true},
+		{"results_match==1", true},
+		{"overhead_pct>2", false},
+		{"missing_metric<=2", false},
+	} {
+		a, err := ParseAssertion(tc.expr)
+		if err != nil {
+			t.Fatalf("ParseAssertion(%q): %v", tc.expr, err)
+		}
+		err = a.Eval(metrics)
+		if (err == nil) != tc.ok {
+			t.Errorf("Eval(%q) = %v, want ok=%v", tc.expr, err, tc.ok)
+		}
+	}
+	for _, bad := range []string{"nocomparison", "<=2", "x<=", "x<=notanumber"} {
+		if _, err := ParseAssertion(bad); err == nil {
+			t.Errorf("ParseAssertion(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseRejectsNonObject(t *testing.T) {
+	if _, err := Parse([]byte(`[1,2,3]`)); err == nil {
+		t.Fatal("array document accepted")
+	}
+	if _, err := Parse([]byte(`{"qps": `)); err == nil {
+		t.Fatal("truncated document accepted")
+	}
+	m, err := Parse([]byte(`{"qps": 5, "e2e": [{"routing":"r","qps":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["qps"] != 5 || m["e2e[routing=r].qps"] != 1 {
+		t.Fatalf("Parse = %v", m)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,9 @@ type Engine struct {
 	// health holds the per-device circuit breakers of the fault-tolerant
 	// dispatch path, indexed like cfg.Devices; see health.go.
 	health []deviceHealth
+
+	// log is the resolved Config.Logger (a discard logger when nil).
+	log *slog.Logger
 }
 
 type stagedOp struct {
@@ -185,6 +189,10 @@ func New(cfg Config) (*Engine, error) {
 		}),
 	}
 	e.drainCond = sync.NewCond(&e.drainMu)
+	e.log = cfg.Logger
+	if e.log == nil {
+		e.log = slog.New(slog.DiscardHandler)
+	}
 	e.pools.disabled = cfg.DisablePooling
 	e.idx.Store(&index{pt: &partitionTable{}})
 	e.initHealth()
@@ -218,6 +226,9 @@ func New(cfg Config) (*Engine, error) {
 // live: snapshots taken from it reflect activity up to the moment of the
 // call.
 func (e *Engine) Obs() *obs.Pipeline { return e.obs }
+
+// logger returns the engine's structured logger (never nil).
+func (e *Engine) logger() *slog.Logger { return e.log }
 
 // registerGauges wires the queue-depth and stream-pool gauges the export
 // surfaces (GET /metrics) evaluate at scrape time.
@@ -273,6 +284,27 @@ func (e *Engine) registerGauges() {
 			}
 			return float64(n)
 		})
+	for di, dev := range e.cfg.Devices {
+		di, dev := di, dev
+		labels := obs.Labels{{"device", dev.Name()}}
+		e.obs.RegisterGauge("tagmatch_gpu_overlap_fraction",
+			"Fraction of cumulative kernel time overlapped with copies on the device.",
+			labels, dev.OverlapFraction)
+		e.obs.RegisterGauge("tagmatch_gpu_utilization",
+			"Fraction of device SM-worker capacity busy executing blocks since creation.",
+			labels, dev.Utilization)
+		e.obs.RegisterGauge("tagmatch_gpu_stream_queue_depth",
+			"Device operations queued (not yet started) across the device's streams.",
+			labels, func() float64 {
+				n := 0
+				for _, sc := range e.idx.Load().allStreams {
+					if sc.dev == di {
+						n += sc.stream.QueueDepth()
+					}
+				}
+				return float64(n)
+			})
+	}
 }
 
 // partCounters returns the hot-spot counters for a partition, or nil
@@ -551,6 +583,9 @@ func (e *Engine) uploadToDevices(idx *index) error {
 				return err
 			}
 			sc := &streamCtx{dev: d, stream: s, hdrHost: make([]uint32, resHeaderWords)}
+			// Feed every device op issued through the stream into the
+			// per-op-kind histograms and the in-flight batch's trace.
+			s.OnOp(func(r gpu.OpRecord) { e.observeGPUOp(sc, r) })
 			sc.qbuf, err = gpu.Alloc[bitvec.Vector](dev, e.cfg.BatchSize)
 			if err == nil {
 				sc.hdr, err = gpu.Alloc[uint32](dev, resHeaderWords)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
+
+	"tagmatch/internal/gpu"
 )
 
 // deviceHealth is the per-device circuit breaker of the fault-tolerant
@@ -67,6 +70,8 @@ func (e *Engine) recordDeviceSuccess(dev int) {
 		h.quarantined.Store(false)
 		h.backoff.Store(int64(e.cfg.QuarantineBackoff))
 		e.obs.Faults.Recoveries.Add(1)
+		e.logger().Info("device recovered from quarantine",
+			"device", e.deviceName(dev))
 	}
 }
 
@@ -75,8 +80,18 @@ func (e *Engine) recordDeviceSuccess(dev int) {
 // or — for a failure while quarantined (the recovery probe, or a
 // straggler dispatched before the quarantine) — extending the probe
 // backoff exponentially up to quarantineBackoffCap times the base.
-func (e *Engine) recordDeviceFailure(dev int) {
+// err is the batch attempt's failure, logged so operators see which
+// device is misbehaving and why, not just a counter moving.
+func (e *Engine) recordDeviceFailure(dev int, err error) {
 	h := &e.health[dev]
+	if errors.Is(err, gpu.ErrDeviceClosed) {
+		// ErrDeviceClosed outside shutdown is the simulator's device
+		// death (Kill); every subsequent op fails the same way.
+		e.logger().Error("device lost", "device", e.deviceName(dev), "err", err)
+	} else {
+		e.logger().Debug("device batch attempt failed",
+			"device", e.deviceName(dev), "err", err)
+	}
 	if h.quarantined.Load() {
 		h.probing.Store(false)
 		b := 2 * h.backoff.Load()
@@ -85,15 +100,30 @@ func (e *Engine) recordDeviceFailure(dev int) {
 		}
 		h.backoff.Store(b)
 		h.probeAfter.Store(time.Now().UnixNano() + b)
+		e.logger().Debug("quarantine probe failed, extending backoff",
+			"device", e.deviceName(dev), "backoff", time.Duration(b), "err", err)
 		return
 	}
-	if h.consecFails.Add(1) >= int32(e.cfg.FailureThreshold) {
+	if fails := h.consecFails.Add(1); fails >= int32(e.cfg.FailureThreshold) {
 		if h.quarantined.CompareAndSwap(false, true) {
 			h.probing.Store(false)
 			h.probeAfter.Store(time.Now().UnixNano() + h.backoff.Load())
 			e.obs.Faults.Quarantines.Add(1)
+			e.logger().Warn("device quarantined",
+				"device", e.deviceName(dev),
+				"consecutive_failures", fails,
+				"probe_backoff", time.Duration(h.backoff.Load()),
+				"err", err)
 		}
 	}
+}
+
+// deviceName resolves a device index to its name for log records.
+func (e *Engine) deviceName(dev int) string {
+	if dev < 0 || dev >= len(e.cfg.Devices) {
+		return "?"
+	}
+	return e.cfg.Devices[dev].Name()
 }
 
 // DeviceQuarantined reports whether device dev (an index into

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"tagmatch/internal/gpu"
 	"tagmatch/internal/obs"
 )
 
@@ -103,6 +106,130 @@ func TestObsPerQueryTracing(t *testing.T) {
 			t.Fatalf("trace missing stage %q: %+v", want, tr.Events)
 		}
 	}
+}
+
+// TestShedTracePublishesError pins the trace-finalization contract of
+// the load-shedding path: a sampled query rejected by the admission gate
+// must still publish to the trace ring, with terminal status
+// "error:overloaded" — it may not vanish silently.
+func TestShedTracePublishesError(t *testing.T) {
+	e, err := New(Config{
+		MaxPartitionSize: 100, BatchSize: 1, Threads: 2, MaxInFlight: 1,
+		TraceEvery: 1, TraceKeep: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	e.AddSet([]string{"a"}, 1)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate: park the only reduce worker in query 1's done callback,
+	// admit query 2 to fill the in-flight budget (see overload_test.go).
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	if err := e.Submit([]string{"a"}, func(MatchResult) {
+		close(entered)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := e.Submit([]string{"a"}, func(MatchResult) {}); err != nil {
+		t.Fatalf("query filling the in-flight budget was rejected: %v", err)
+	}
+
+	if err := e.Submit([]string{"a"}, func(MatchResult) {
+		t.Error("done called for a shed query")
+	}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit at capacity: got %v, want ErrOverloaded", err)
+	}
+
+	var shed *obs.TraceRecord
+	for _, tr := range e.Obs().Tracer.Recent() {
+		if tr.Status == "error:overloaded" {
+			shed = &tr
+			break
+		}
+	}
+	if shed == nil {
+		t.Fatalf("no trace with status error:overloaded in ring: %+v",
+			e.Obs().Tracer.Recent())
+	}
+	var sawEvent bool
+	for _, ev := range shed.Events {
+		if ev.Stage == "error:overloaded" {
+			sawEvent = true
+		}
+	}
+	if !sawEvent {
+		t.Fatalf("shed trace missing terminal error event: %+v", shed.Events)
+	}
+	close(release)
+	e.Drain()
+}
+
+// TestFaultTracesTerminal pins trace finalization on the degraded paths:
+// with a device whose every operation fails, queries complete through
+// GPU-fault retries and CPU fallback, and every published trace must
+// carry a terminal status — "degraded:<reason>" for the fallback
+// survivors, never the empty string.
+func TestFaultTracesTerminal(t *testing.T) {
+	db := makeTestDB(300, 5, 2, 79)
+	dev := newTestGPU(t, 2)
+	e, err := New(Config{
+		MaxPartitionSize: 100, BatchSize: 8, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2, Replicate: true,
+		FailureThreshold:  3,
+		QuarantineBackoff: 50 * time.Millisecond,
+		TraceEvery:        1, TraceKeep: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPlan(&gpu.FaultPlan{Seed: 5, CopyFailProb: 1})
+
+	for _, q := range db.makeQueries(60, 80) {
+		if _, err := e.MatchSignature(q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	traces := e.Obs().Tracer.Recent()
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded with TraceEvery=1")
+	}
+	var degraded int
+	for _, tr := range traces {
+		if tr.Status == "" {
+			t.Fatalf("trace %d published without terminal status: %+v", tr.ID, tr)
+		}
+		if strings.HasPrefix(tr.Status, "degraded:") {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatalf("no degraded traces despite a fully failing device; statuses: %v",
+			traceStatuses(traces))
+	}
+	if e.Stats().CPUFallbacks == 0 {
+		t.Fatal("no CPU fallbacks despite a fully failing device")
+	}
+}
+
+func traceStatuses(traces []obs.TraceRecord) []string {
+	out := make([]string, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Status
+	}
+	return out
 }
 
 func TestObsDisabled(t *testing.T) {

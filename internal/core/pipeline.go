@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime/pprof"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -56,7 +57,11 @@ func (q *query) finish(e *Engine, n int32) {
 		if e.obs.On {
 			t0 := time.Now()
 			keys = dedupKeys(keys)
-			e.obs.Merge.ObserveDuration(time.Since(t0))
+			spent := time.Since(t0)
+			e.obs.Merge.ObserveDuration(spent)
+			if q.trace != nil {
+				q.trace.Span(obs.StageMerge, "query", t0, 0, spent, -1, "", -1, int64(len(keys)))
+			}
 		} else {
 			keys = dedupKeys(keys)
 		}
@@ -132,6 +137,14 @@ type streamCtx struct {
 	splitQ  *gpu.Buffer[uint32]
 	splitS  *gpu.Buffer[uint32]
 	hdrHost []uint32
+
+	// traced holds the sampled traces of the batch currently in flight
+	// on this stream; the stream's OnOp observer attaches device-op
+	// spans to them. Written by the dispatching goroutine before the
+	// batch's first enqueue (the channel send publishes it to the
+	// executor) and read only by the executor; at most one batch is in
+	// flight per stream, so there is no concurrent batch to race with.
+	traced []*obs.Trace
 }
 
 // hdrZero is the shared H2D source that resets a device-side result
@@ -221,6 +234,13 @@ func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool
 			e.submitted.Add(-1)
 			e.submitMu.RUnlock()
 			e.obs.Faults.QueriesShed.Add(1)
+			// Shed queries never enter the pipeline, so finish() never
+			// publishes a trace for them; sample and finalize here so the
+			// trace ring reflects shedding instead of silently skipping
+			// the rejected 1-in-N queries.
+			if tr := e.obs.Tracer.Maybe(); tr != nil {
+				tr.Abort("overloaded")
+			}
 			e.notifyProgress()
 			return ErrOverloaded
 		}
@@ -393,25 +413,27 @@ type routeState struct {
 // query ever waits in a local accumulator while the pipeline is idle.
 func (e *Engine) preprocessWorker() {
 	defer e.workerWg.Done()
-	var w routeState
-	for q := range e.inputCh {
-		e.routeOne(&w, q)
-	collect:
-		for w.acc.pending < routeMergeAppends {
-			select {
-			case q2, ok := <-e.inputCh:
-				if !ok {
-					break collect // merge below; the outer range exits next
+	pprof.Do(context.Background(), pprof.Labels("stage", "preprocess"), func(context.Context) {
+		var w routeState
+		for q := range e.inputCh {
+			e.routeOne(&w, q)
+		collect:
+			for w.acc.pending < routeMergeAppends {
+				select {
+				case q2, ok := <-e.inputCh:
+					if !ok {
+						break collect // merge below; the outer range exits next
+					}
+					e.routeOne(&w, q2)
+				default:
+					break collect
 				}
-				e.routeOne(&w, q2)
-			default:
-				break collect
 			}
+			e.mergeRoutes(&w.acc)
+			e.notifyProgress()
 		}
-		e.mergeRoutes(&w.acc)
-		e.notifyProgress()
-	}
-	e.mergeRoutes(&w.acc) // safety net; a clean exit already merged
+		e.mergeRoutes(&w.acc) // safety net; a clean exit already merged
+	})
 }
 
 // routeOne runs Algorithm 2 for one query and buffers its batch appends
@@ -456,10 +478,14 @@ func (e *Engine) routeOne(w *routeState, q *query) {
 		// Per-query routing time; the bulk-merge time is accounted to
 		// preprocessNs by mergeRoutes but not attributed per query.
 		e.obs.Preprocess.ObserveDuration(spent)
+		// Input-queue wait: submit to pre-process pickup.
+		e.obs.InputWait.ObserveDuration(t0.Sub(q.start))
 	}
 	if q.trace != nil {
 		q.trace.Event("route-bins", -1, int64(len(w.ones)))
 		q.trace.Event(obs.StagePreprocess, -1, int64(len(w.pids)))
+		q.trace.Span(obs.StagePreprocess, "query", q.start, t0.Sub(q.start), spent,
+			-1, "", -1, int64(len(w.pids)))
 	}
 	q.finish(e, 1)
 }
@@ -676,6 +702,16 @@ func (e *Engine) dispatch(idx *index, b *openBatch, reason dispatchReason) {
 		}
 	}
 	b.dispatched = time.Now()
+	if e.obs.On {
+		wait := b.dispatched.Sub(b.created)
+		e.obs.BatchWait.ObserveDuration(wait)
+		if e.obs.Tracing() {
+			for _, q := range b.queries {
+				q.trace.Span("batch-wait", "query", b.created, wait, 0,
+					int32(b.pid), "", -1, int64(len(b.queries)))
+			}
+		}
+	}
 	if len(idx.devices) == 0 {
 		e.cpuDispatch(idx, b)
 		return
@@ -762,6 +798,17 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		}
 	}
 
+	// Point the stream's op observer at this batch's sampled traces
+	// before any operation is enqueued.
+	sc.traced = sc.traced[:0]
+	if e.obs.Tracing() {
+		for _, q := range b.queries {
+			if q.trace != nil {
+				sc.traced = append(sc.traced, q.trace)
+			}
+		}
+	}
+
 	if e.cfg.SplitOutputLayout {
 		// Ablation: two separate id arrays, two result copies.
 		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, hdrZero)
@@ -786,9 +833,9 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 				res.qIDs = growU32(res.qIDs, count)
 				res.sIDs = growU32(res.sIDs, count)
 				// Two exact-size copies: the cost the packed layout avoids.
-				err := sc.splitQ.CopyFromDevice(res.qIDs, splitHeaderWords)
+				err := gpu.CopyFromDeviceNow(sc.stream, sc.splitQ, res.qIDs, splitHeaderWords)
 				if err == nil {
-					err = sc.splitS.CopyFromDevice(res.sIDs, 0)
+					err = gpu.CopyFromDeviceNow(sc.stream, sc.splitS, res.sIDs, 0)
 				}
 				if err != nil {
 					e.pools.putResult(res)
@@ -831,7 +878,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 			}
 			if !overflow && count > 0 {
 				res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
-				if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
+				if err := gpu.CopyFromDeviceNow(sc.stream, sc.pairs, res.packed, 0); err != nil {
 					e.pools.putResult(res)
 					release()
 					e.batchFault(idx, b, sc, attempt, err)
@@ -868,7 +915,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		}
 		if !overflow && count > 0 {
 			res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
-			if err := sc.pairs.CopyFromDevice(res.packed, 0); err != nil {
+			if err := gpu.CopyFromDeviceNow(sc.stream, sc.pairs, res.packed, 0); err != nil {
 				e.pools.putResult(res)
 				release()
 				e.batchFault(idx, b, sc, attempt, err)
@@ -899,7 +946,12 @@ func (e *Engine) batchOK(sc *streamCtx) {
 // goroutine, which must not block on stream acquisition.
 func (e *Engine) batchFault(idx *index, b *openBatch, sc *streamCtx, attempt int, err error) {
 	e.obs.Faults.GPUFaults.Add(1)
-	e.recordDeviceFailure(sc.dev)
+	e.recordDeviceFailure(sc.dev, err)
+	if e.obs.Tracing() {
+		for _, q := range b.queries {
+			q.trace.Degrade("gpu-fault")
+		}
+	}
 	if attempt == 0 {
 		e.obs.Faults.BatchRetries.Add(1)
 		go e.gpuDispatchAttempt(idx, b, 1, sc.dev)
@@ -912,6 +964,13 @@ func (e *Engine) batchFault(idx *index, b *openBatch, sc *streamCtx, attempt int
 // it (device failures, quarantine, no usable stream).
 func (e *Engine) fallbackCPU(idx *index, b *openBatch) {
 	e.obs.Faults.CPUFallbacks.Add(1)
+	e.logger().Debug("batch falling back to CPU",
+		"partition", b.pid, "queries", len(b.queries))
+	if e.obs.Tracing() {
+		for _, q := range b.queries {
+			q.trace.Degrade("cpu-fallback")
+		}
+	}
 	e.cpuDispatch(idx, b)
 }
 
@@ -943,8 +1002,31 @@ func clampCount(raw, overflowFlag uint32, maxPairs int) (int, bool) {
 // the owning query, completing queries whose last batch this was.
 func (e *Engine) reduceWorker() {
 	defer e.reduceWg.Done()
-	for res := range e.reduceCh {
-		e.reduceOne(res)
+	pprof.Do(context.Background(), pprof.Labels("stage", "reduce"), func(context.Context) {
+		for res := range e.reduceCh {
+			e.reduceOne(res)
+		}
+	})
+}
+
+// observeGPUOp is the per-stream OnOp observer: it feeds the completed
+// device operation into the op-kind histograms and attaches a span to
+// every sampled trace of the batch in flight on the stream. Runs on the
+// stream's executor goroutine.
+func (e *Engine) observeGPUOp(sc *streamCtx, r gpu.OpRecord) {
+	if !e.obs.On {
+		return
+	}
+	if h := e.obs.GPUOpHist(r.KindName()); h != nil {
+		h.Observe(r.Wait(), r.Service())
+	}
+	for _, tr := range sc.traced {
+		n := r.Bytes
+		if r.Kind == gpu.OpKernel {
+			n = int64(r.Blocks)
+		}
+		tr.Span(r.KindName(), obs.StageSubsetMatch, r.Enqueue, r.Wait(), r.Service(),
+			-1, r.Device, r.Stream, n)
 	}
 }
 
@@ -1036,9 +1118,17 @@ func (e *Engine) reduceOne(res *batchResult) {
 		pc.Pairs.Add(nPairs)
 	}
 	if e.obs.Tracing() {
+		reduceSoFar := time.Since(t0)
 		for _, q := range b.queries {
 			if q.trace != nil {
 				q.trace.Event("batch-done", int32(b.pid), nPairs)
+				// Spans must attach before finish() below publishes the
+				// trace; the reduce span therefore measures up to here,
+				// missing only the scratch-recycle tail.
+				q.trace.Span(obs.StageSubsetMatch, "query", b.dispatched, 0, matchDur,
+					int32(b.pid), "", -1, nPairs)
+				q.trace.Span(obs.StageReduce, "query", t0, 0, reduceSoFar,
+					int32(b.pid), "", -1, nPairs)
 			}
 		}
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"log/slog"
 	"time"
 
 	"tagmatch/internal/bitvec"
@@ -155,6 +156,12 @@ type Config struct {
 	// hotpath experiment to quantify the pooling win; production
 	// deployments should leave pooling on (the default).
 	DisablePooling bool
+
+	// Logger receives structured records of operationally significant
+	// events: device quarantine entry/exit, device death, CPU fallbacks.
+	// Nil disables logging (the library default — counters and traces
+	// still record everything); tagmatch-server wires slog.Default().
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the paper-faithful defaults for a database of

@@ -74,6 +74,13 @@ func (b *Buffer[T]) elemBytes() int64 {
 // CopyToDevice synchronously copies src into the buffer starting at
 // element offset dstOff, paying the simulated bus cost.
 func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
+	return b.copyToDevice(dstOff, src, directSite)
+}
+
+// copyToDevice is CopyToDevice with the issuing site threaded through
+// for op-record telemetry (stream copies pass their stream id and
+// enqueue timestamp; direct host copies pass directSite).
+func (b *Buffer[T]) copyToDevice(dstOff int, src []T, site opSite) error {
 	if err := b.dev.opCheck(opCopy); err != nil {
 		return err
 	}
@@ -85,8 +92,10 @@ func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
 			dstOff, len(src), len(b.data))
 	}
 	n := int(b.elemBytes()) * len(src)
+	start := b.dev.opBegin(OpH2D)
 	spinWait(b.dev.cfg.Cost.copyCost(n))
 	copy(b.data[dstOff:], src)
+	b.dev.opDone(OpH2D, site, int64(n), 0, start)
 	b.dev.bytesHtoD.Add(int64(n))
 	b.dev.copiesHtoD.Add(1)
 	return nil
@@ -95,6 +104,12 @@ func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
 // CopyFromDevice synchronously copies elements [srcOff, srcOff+len(dst))
 // of the buffer into dst, paying the simulated bus cost.
 func (b *Buffer[T]) CopyFromDevice(dst []T, srcOff int) error {
+	return b.copyFromDevice(dst, srcOff, directSite)
+}
+
+// copyFromDevice is CopyFromDevice with the issuing site threaded
+// through for op-record telemetry.
+func (b *Buffer[T]) copyFromDevice(dst []T, srcOff int, site opSite) error {
 	if err := b.dev.opCheck(opCopy); err != nil {
 		return err
 	}
@@ -106,8 +121,10 @@ func (b *Buffer[T]) CopyFromDevice(dst []T, srcOff int) error {
 			srcOff, len(dst), len(b.data))
 	}
 	n := int(b.elemBytes()) * len(dst)
+	start := b.dev.opBegin(OpD2H)
 	spinWait(b.dev.cfg.Cost.copyCost(n))
 	copy(dst, b.data[srcOff:])
+	b.dev.opDone(OpD2H, site, int64(n), 0, start)
 	b.dev.bytesDtoH.Add(int64(n))
 	b.dev.copiesDtoH.Add(1)
 	return nil

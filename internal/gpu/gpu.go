@@ -98,6 +98,11 @@ type Config struct {
 	// Cost is the simulated cost model. The zero value disables all
 	// simulated overheads.
 	Cost CostModel
+	// OpLogSize is the number of recent operation records (copies,
+	// kernel launches, with enqueue/start/done timestamps) the device
+	// retains for timeline export; 0 disables the ring. The aggregate
+	// overlap and busy-time accounting runs regardless.
+	OpLogSize int
 }
 
 // Stats is a snapshot of device activity counters.
@@ -113,6 +118,15 @@ type Stats struct {
 	MemInUse       int64
 	MemHighWater   int64
 	InjectedFaults int64
+
+	// SMBusyNs is the cumulative wall time SM workers spent executing
+	// thread blocks (see Device.Utilization for the derived fraction).
+	SMBusyNs int64
+	// KernelActiveNs/CopyActiveNs/OverlapNs are the copy/compute
+	// concurrency accounting of Device.OverlapStats.
+	KernelActiveNs int64
+	CopyActiveNs   int64
+	OverlapNs      int64
 }
 
 // Device is a simulated GPU.
@@ -130,6 +144,13 @@ type Device struct {
 	// faultState carries the fault-injection plan, the operation
 	// sequence counter it draws from, and the device-death flag.
 	faultState
+
+	// rec is the op-record ring and copy/compute overlap accounting;
+	// see oplog.go.
+	rec       opRecorder
+	createdAt time.Time
+	smBusyNs  atomic.Int64
+	streamSeq atomic.Int64
 
 	memInUse     atomic.Int64
 	memHighWater atomic.Int64
@@ -175,9 +196,13 @@ func New(cfg Config) *Device {
 		cfg.Name = "sim-gpu"
 	}
 	d := &Device{
-		name:   cfg.Name,
-		cfg:    cfg,
-		blockQ: make(chan blockTask, 4*cfg.Workers),
+		name:      cfg.Name,
+		cfg:       cfg,
+		blockQ:    make(chan blockTask, 4*cfg.Workers),
+		createdAt: time.Now(),
+	}
+	if cfg.OpLogSize > 0 {
+		d.rec.ring = make([]OpRecord, cfg.OpLogSize)
 	}
 	d.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -205,7 +230,9 @@ func (d *Device) Close() {
 func (d *Device) smWorker() {
 	defer d.wg.Done()
 	for task := range d.blockQ {
+		t0 := time.Now()
 		d.runBlock(task)
+		d.smBusyNs.Add(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -301,8 +328,9 @@ func (b *BlockCtx) LaunchNested(grid Grid, kernel KernelFunc) {
 // It is called from a stream executor goroutine. It returns
 // ErrDeviceClosed on a closed or dead device — rather than panicking, so
 // stream error propagation can route the failure to the dispatching
-// engine — and injected fault errors under an active FaultPlan.
-func (d *Device) launch(grid Grid, kernel KernelFunc) error {
+// engine — and injected fault errors under an active FaultPlan. site
+// identifies the issuing stream for the op-record telemetry.
+func (d *Device) launch(grid Grid, kernel KernelFunc, site opSite) error {
 	if err := d.opCheck(opLaunch); err != nil {
 		return err
 	}
@@ -310,8 +338,10 @@ func (d *Device) launch(grid Grid, kernel KernelFunc) error {
 		return ErrDeviceClosed
 	}
 	d.kernelLaunches.Add(1)
+	start := d.opBegin(OpKernel)
 	spinWait(d.cfg.Cost.LaunchOverhead)
 	if grid.Blocks <= 0 || grid.BlockDim <= 0 {
+		d.opDone(OpKernel, site, 0, 0, start)
 		return nil
 	}
 	var done sync.WaitGroup
@@ -320,11 +350,13 @@ func (d *Device) launch(grid Grid, kernel KernelFunc) error {
 		d.blockQ <- blockTask{kernel: kernel, blockIdx: blk, grid: grid, done: &done}
 	}
 	done.Wait()
+	d.opDone(OpKernel, site, 0, grid.Blocks, start)
 	return nil
 }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
+	ov := d.OverlapStats()
 	return Stats{
 		KernelLaunches: d.kernelLaunches.Load(),
 		NestedLaunches: d.nestedLaunches.Load(),
@@ -337,6 +369,10 @@ func (d *Device) Stats() Stats {
 		MemInUse:       d.memInUse.Load(),
 		MemHighWater:   d.memHighWater.Load(),
 		InjectedFaults: d.injectedFaults.Load(),
+		SMBusyNs:       d.smBusyNs.Load(),
+		KernelActiveNs: ov.KernelNs,
+		CopyActiveNs:   ov.CopyNs,
+		OverlapNs:      ov.OverlapNs,
 	}
 }
 

@@ -1,7 +1,10 @@
 package gpu
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
+	"time"
 )
 
 // Stream is a FIFO queue of device operations, the analogue of a CUDA
@@ -16,8 +19,15 @@ import (
 // exclusive use of a stream for one copy/launch/copy sequence at a time.
 type Stream struct {
 	dev  *Device
+	id   int
 	ops  chan func()
 	done sync.WaitGroup // executor goroutine
+
+	// observe, when set via OnOp before the first enqueue, receives the
+	// OpRecord of every operation issued through this stream. The
+	// channel send of the first subsequent enqueue publishes the write
+	// to the executor goroutine.
+	observe func(OpRecord)
 
 	// segErr accumulates the first error of the current operation
 	// segment (the ops enqueued since the last error-consuming callback).
@@ -41,17 +51,38 @@ func (d *Device) OpenStream() (*Stream, error) {
 	d.streams.open++
 	d.streams.Unlock()
 
-	s := &Stream{dev: d, ops: make(chan func(), 64)}
+	s := &Stream{
+		dev: d,
+		id:  int(d.streamSeq.Add(1)) - 1,
+		ops: make(chan func(), 64),
+	}
 	s.done.Add(1)
 	go s.run()
 	return s, nil
 }
 
+// ID returns the stream's device-unique id, assigned in open order.
+func (s *Stream) ID() int { return s.id }
+
+// OnOp installs an observer invoked with the OpRecord of every
+// operation issued through this stream, from the executor goroutine.
+// Install it before the first enqueue; it must not block.
+func (s *Stream) OnOp(fn func(OpRecord)) { s.observe = fn }
+
+// site returns the opSite of an operation being enqueued now.
+func (s *Stream) site() opSite {
+	return opSite{stream: s.id, enqueue: time.Now(), observe: s.observe}
+}
+
 func (s *Stream) run() {
 	defer s.done.Done()
-	for op := range s.ops {
-		op()
-	}
+	// Label the executor goroutine so CPU profiles attribute simulated
+	// bus and kernel-dispatch time to the owning device.
+	pprof.Do(context.Background(), pprof.Labels("stage", "gpu-stream", "device", s.dev.name), func(context.Context) {
+		for op := range s.ops {
+			op()
+		}
+	})
 }
 
 // Close drains and closes the stream, releasing its slot on the device.
@@ -76,34 +107,48 @@ func (s *Stream) QueueDepth() int { return len(s.ops) }
 // (Synchronize, or a later Callback). A failed copy puts the stream into
 // an error state; see CallbackErr.
 func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T) {
+	site := s.site()
 	s.ops <- func() {
 		if s.segErr != nil {
 			return
 		}
-		s.segErr = buf.CopyToDevice(dstOff, src)
+		s.segErr = buf.copyToDevice(dstOff, src, site)
 	}
 }
 
 // CopyFromDeviceAsync enqueues a D2H copy of buf[srcOff:srcOff+len(dst)]
 // into dst.
 func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) {
+	site := s.site()
 	s.ops <- func() {
 		if s.segErr != nil {
 			return
 		}
-		s.segErr = buf.CopyFromDevice(dst, srcOff)
+		s.segErr = buf.copyFromDevice(dst, srcOff, site)
 	}
+}
+
+// CopyFromDeviceNow synchronously copies like Buffer.CopyFromDevice but
+// attributes the operation to the stream. It is for copies issued from
+// inside a stream callback: those run on the stream's executor
+// goroutine without passing through its FIFO (the result-transfer
+// pattern of TagMatch's double buffering), so a plain CopyFromDevice
+// would record them as anonymous direct operations and the stream's
+// OnOp observer would never see them.
+func CopyFromDeviceNow[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) error {
+	return buf.copyFromDevice(dst, srcOff, opSite{stream: s.id, enqueue: time.Now(), observe: s.observe})
 }
 
 // LaunchAsync enqueues a kernel launch. The stream executor blocks until
 // the kernel completes before starting the next operation in this stream,
 // while other streams keep running — the overlap TagMatch exploits.
 func (s *Stream) LaunchAsync(grid Grid, kernel KernelFunc) {
+	site := s.site()
 	s.ops <- func() {
 		if s.segErr != nil {
 			return
 		}
-		s.segErr = s.dev.launch(grid, kernel)
+		s.segErr = s.dev.launch(grid, kernel, site)
 	}
 }
 

@@ -12,7 +12,11 @@
 //	POST /match-unique {"tags": ["a","b","c"]}
 //	GET  /stats        cumulative engine counters (JSON, snake_case keys)
 //	GET  /debug/stats  stats + stage histograms, per-partition counters,
-//	                   gauges, recent traces, per-device counters (JSON)
+//	                   gauges, recent traces, latency attribution with
+//	                   exemplar trace ids, per-device counters (JSON)
+//	GET  /debug/timeline  sampled traces + device op logs as a Chrome
+//	                   trace-event file (load in Perfetto); ?trace=<id>
+//	                   restricts to one sampled query
 //	GET  /metrics      Prometheus text exposition (format 0.0.4)
 //	GET  /healthz
 //
@@ -125,6 +129,7 @@ func Handler(eng *tagmatch.Engine) http.Handler {
 			Devices: eng.DeviceStats(),
 		})
 	})
+	mux.HandleFunc("GET /debug/timeline", timelineHandler(eng))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, eng)

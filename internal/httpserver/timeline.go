@@ -1,0 +1,181 @@
+package httpserver
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"tagmatch"
+	"tagmatch/internal/obs"
+)
+
+// GET /debug/timeline renders the sampled traces and the per-device
+// operation logs as a Chrome trace-event file (the JSON format Perfetto
+// and chrome://tracing load directly). Two groups of tracks come out:
+//
+//   - pid 1, "queries": one thread per sampled query (named by trace id
+//     and terminal status), carrying the query's stage spans — each
+//     split into a "<stage> (wait)" slice followed by the service slice
+//     — and the service phase of its device ops (h2d/kernel/d2h, queue
+//     wait in args, nested under the subset_match window).
+//   - pid 2+d, one per device: one thread per stream (plus "direct" for
+//     non-stream ops), carrying every retained device operation with
+//     bytes/blocks/queue-wait in args. This is where the §3.3.2 copy/
+//     kernel overlap across streams is visible at a glance.
+//
+// ?trace=<id> restricts the query tracks to one sampled query (device
+// tracks are always complete). A query fanned out to several partitions
+// legitimately has overlapping subset_match slices on its track;
+// Perfetto renders partial overlap best-effort.
+
+// traceEvent is one entry of the Chrome trace-event format. Timestamps
+// and durations are microseconds relative to the capture's epoch.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// timelineDoc is the GET /debug/timeline response body.
+type timelineDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const queriesPID = 1 // device d gets pid 2+d
+
+func timelineHandler(eng *tagmatch.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var only uint64
+		if s := r.URL.Query().Get("trace"); s != "" {
+			id, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+s, http.StatusBadRequest)
+				return
+			}
+			only = id
+		}
+		traces := eng.Obs().Tracer.Recent()
+		if only != 0 {
+			kept := traces[:0]
+			for _, tr := range traces {
+				if tr.ID == only {
+					kept = append(kept, tr)
+				}
+			}
+			traces = kept
+		}
+		writeJSON(w, buildTimeline(traces, eng.DeviceOpRecords()))
+	}
+}
+
+// buildTimeline converts trace records and device op logs into one
+// trace-event document on a shared epoch (the earliest timestamp seen).
+func buildTimeline(traces []obs.TraceRecord, devices []tagmatch.DeviceOps) timelineDoc {
+	var epoch time.Time
+	for _, tr := range traces {
+		if epoch.IsZero() || tr.Start.Before(epoch) {
+			epoch = tr.Start
+		}
+	}
+	for _, d := range devices {
+		for _, op := range d.Ops {
+			if epoch.IsZero() || op.Start.Before(epoch) {
+				epoch = op.Start
+			}
+		}
+	}
+	us := func(t time.Time) float64 { return float64(t.Sub(epoch).Nanoseconds()) / 1e3 }
+	durUS := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+	doc := timelineDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	emit := func(ev traceEvent) { doc.TraceEvents = append(doc.TraceEvents, ev) }
+	meta := func(pid, tid int, kind, name string) {
+		emit(traceEvent{Name: kind, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name}})
+	}
+
+	if len(traces) > 0 {
+		meta(queriesPID, 0, "process_name", "queries")
+	}
+	for _, tr := range traces {
+		tid := int(tr.ID)
+		meta(queriesPID, tid, "thread_name",
+			"trace "+strconv.FormatUint(tr.ID, 10)+" ("+tr.Status+")")
+		// Root span: the query's full submit→finalize extent.
+		emit(traceEvent{Name: "query", Cat: "query", Ph: "X",
+			TS: us(tr.Start), Dur: durUS(tr.End), PID: queriesPID, TID: tid,
+			Args: map[string]any{"trace_id": tr.ID, "status": tr.Status}})
+		for _, sp := range tr.Spans {
+			args := map[string]any{"parent": sp.Parent}
+			if sp.Partition >= 0 {
+				args["partition"] = sp.Partition
+			}
+			if sp.Device != "" {
+				args["device"] = sp.Device
+				args["stream"] = sp.Stream
+			}
+			if sp.N != 0 {
+				args["n"] = sp.N
+			}
+			start := tr.Start.Add(sp.Start)
+			if sp.Parent == obs.StageSubsetMatch {
+				// Device op: service slice only; its queue wait overlaps
+				// the preceding op's service, which would break slice
+				// nesting on the track. The wait rides along in args.
+				args["wait_us"] = durUS(sp.Wait)
+				emit(traceEvent{Name: sp.Name, Cat: "gpu", Ph: "X",
+					TS: us(start.Add(sp.Wait)), Dur: durUS(sp.Dur),
+					PID: queriesPID, TID: tid, Args: args})
+				continue
+			}
+			if sp.Wait > 0 {
+				emit(traceEvent{Name: sp.Name + " (wait)", Cat: "wait", Ph: "X",
+					TS: us(start), Dur: durUS(sp.Wait),
+					PID: queriesPID, TID: tid, Args: args})
+			}
+			if sp.Dur > 0 || sp.Wait == 0 {
+				emit(traceEvent{Name: sp.Name, Cat: "stage", Ph: "X",
+					TS: us(start.Add(sp.Wait)), Dur: durUS(sp.Dur),
+					PID: queriesPID, TID: tid, Args: args})
+			}
+		}
+	}
+
+	for d, dev := range devices {
+		pid := 2 + d
+		if len(dev.Ops) == 0 {
+			continue
+		}
+		meta(pid, 0, "process_name", dev.Name)
+		named := map[int]bool{}
+		for _, op := range dev.Ops {
+			tid := op.Stream
+			name := "stream " + strconv.Itoa(op.Stream)
+			if op.Stream < 0 {
+				tid = 1 << 20 // park direct (non-stream) ops on their own track
+				name = "direct"
+			}
+			if !named[tid] {
+				named[tid] = true
+				meta(pid, tid, "thread_name", name)
+			}
+			args := map[string]any{"wait_us": durUS(op.Wait())}
+			if op.Bytes > 0 {
+				args["bytes"] = op.Bytes
+			}
+			if op.Blocks > 0 {
+				args["blocks"] = op.Blocks
+			}
+			emit(traceEvent{Name: op.KindName(), Cat: "gpu", Ph: "X",
+				TS: us(op.Start), Dur: durUS(op.Service()),
+				PID: pid, TID: tid, Args: args})
+		}
+	}
+	return doc
+}

@@ -1,0 +1,88 @@
+package obs
+
+import "time"
+
+// Latency attribution: a decomposition of end-to-end query latency into
+// per-stage wait and service components. Each component is one
+// histogram the pipeline already records; attribution lines them up
+// against the E2E histogram so "where did the p99 go" is answerable
+// from /debug/stats without correlating dashboards by hand.
+//
+// Shares are computed as component total time over E2E total time.
+// Components measured per batch (batch wait, GPU ops, subset-match,
+// reduce) amortize over the batch's queries, and device operations on
+// different streams overlap, so shares are a concurrency-weighted view:
+// they can individually exceed what a serial reading would allow and do
+// not sum to 100%. They answer "which stage dominates", not "what is
+// the serial critical path".
+
+// AttributionComponent is one stage×phase share of end-to-end latency.
+type AttributionComponent struct {
+	// Stage is the pipeline stage or device-op kind.
+	Stage string `json:"stage"`
+	// Phase is "wait" (queued behind a stage) or "service" (the stage
+	// doing work).
+	Phase string `json:"phase"`
+	// Per is the recording granularity: "query" or "batch".
+	Per     string        `json:"per"`
+	Count   int64         `json:"count"`
+	MeanNs  float64       `json:"mean_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	TotalNs int64         `json:"total_ns"`
+	// SharePct is TotalNs over the E2E histogram's total, in percent.
+	SharePct float64 `json:"share_pct"`
+	// ExemplarTraceID is the sampled trace whose latency falls nearest
+	// this component's p99, when tracing is on — the query to pull from
+	// /debug/timeline to see a slow instance. 0 when unavailable.
+	ExemplarTraceID uint64 `json:"exemplar_trace_id,omitempty"`
+}
+
+// Attribution returns the per-stage wait/service decomposition of E2E
+// latency, pipeline order, wait before service.
+func (p *Pipeline) Attribution() []AttributionComponent {
+	e2e := p.E2E.Snapshot()
+	exemplars := p.Tracer.Exemplars()
+
+	comp := func(stage, phase, per string, h *Histogram) AttributionComponent {
+		s := h.Snapshot()
+		c := AttributionComponent{
+			Stage:   stage,
+			Phase:   phase,
+			Per:     per,
+			Count:   s.Count,
+			MeanNs:  s.Mean(),
+			P50:     s.QuantileDuration(0.50),
+			P99:     s.QuantileDuration(0.99),
+			TotalNs: s.Sum,
+		}
+		if e2e.Sum > 0 {
+			c.SharePct = float64(s.Sum) / float64(e2e.Sum) * 100
+		}
+		// Attach the exemplar trace closest to (and preferably slower
+		// than) this component's p99: a concrete query to inspect.
+		p99 := c.P99
+		for _, e := range exemplars { // sorted fastest→slowest
+			c.ExemplarTraceID = e.TraceID
+			if e.Latency >= p99 {
+				break
+			}
+		}
+		return c
+	}
+
+	return []AttributionComponent{
+		comp("input", "wait", "query", &p.InputWait),
+		comp(StagePreprocess, "service", "query", &p.Preprocess),
+		comp("batch", "wait", "batch", &p.BatchWait),
+		comp("gpu_h2d", "wait", "batch", &p.GPUH2D.Wait),
+		comp("gpu_h2d", "service", "batch", &p.GPUH2D.Service),
+		comp("gpu_kernel", "wait", "batch", &p.GPUKernel.Wait),
+		comp("gpu_kernel", "service", "batch", &p.GPUKernel.Service),
+		comp("gpu_d2h", "wait", "batch", &p.GPUD2H.Wait),
+		comp("gpu_d2h", "service", "batch", &p.GPUD2H.Service),
+		comp(StageSubsetMatch, "service", "batch", &p.SubsetMatch),
+		comp(StageReduce, "service", "batch", &p.Reduce),
+		comp(StageMerge, "service", "query", &p.Merge),
+	}
+}

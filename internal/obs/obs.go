@@ -65,6 +65,20 @@ type Pipeline struct {
 	// batches are when they leave (fullness vs. timeout tuning).
 	BatchOccupancy Histogram
 
+	// InputWait is the submit→preprocess-pickup queue wait per query;
+	// BatchWait is the batch-open→dispatch wait per batch (the price of
+	// batching amortization, §3.3.1). Together with the GPU op wait
+	// histograms they split E2E latency into wait vs service components;
+	// see Attribution.
+	InputWait Histogram
+	BatchWait Histogram
+
+	// GPUH2D/GPUKernel/GPUD2H record device-operation latencies split
+	// into queue wait (stream enqueue→start) and service (start→done).
+	GPUH2D    OpHist
+	GPUKernel OpHist
+	GPUD2H    OpHist
+
 	// Parts carries the per-partition hot-spot counters.
 	Parts Partitions
 
@@ -85,6 +99,34 @@ type Pipeline struct {
 
 	gaugeMu sync.Mutex
 	gauges  []gauge
+}
+
+// OpHist is a pair of histograms for one device-operation kind,
+// separating time spent queued behind the stream from time spent on the
+// (simulated) hardware.
+type OpHist struct {
+	Wait    Histogram
+	Service Histogram
+}
+
+// Observe records one operation's wait and service durations.
+func (o *OpHist) Observe(wait, service time.Duration) {
+	o.Wait.ObserveDuration(wait)
+	o.Service.ObserveDuration(service)
+}
+
+// GPUOpHist returns the histogram pair for a device-op kind name
+// ("h2d", "kernel", "d2h"), or nil.
+func (p *Pipeline) GPUOpHist(kind string) *OpHist {
+	switch kind {
+	case "h2d":
+		return &p.GPUH2D
+	case "kernel":
+		return &p.GPUKernel
+	case "d2h":
+		return &p.GPUD2H
+	}
+	return nil
 }
 
 type gauge struct {
@@ -152,14 +194,16 @@ type StageSnapshot struct {
 // Snapshot is the JSON-facing view of the whole pipeline's observability
 // state (GET /debug/stats).
 type Snapshot struct {
-	Stages         []StageSnapshot     `json:"stages"`
-	BatchOccupancy HistSnapshot        `json:"batch_occupancy"`
-	Faults         FaultSnapshot       `json:"faults"`
-	Routing        RoutingSnapshot     `json:"routing"`
-	Gauges         map[string]float64  `json:"gauges,omitempty"`
-	HotPartitions  []PartitionSnapshot `json:"hot_partitions,omitempty"`
-	Partitions     []PartitionSnapshot `json:"partitions,omitempty"`
-	Traces         []TraceRecord       `json:"traces,omitempty"`
+	Stages         []StageSnapshot        `json:"stages"`
+	BatchOccupancy HistSnapshot           `json:"batch_occupancy"`
+	Faults         FaultSnapshot          `json:"faults"`
+	Routing        RoutingSnapshot        `json:"routing"`
+	Gauges         map[string]float64     `json:"gauges,omitempty"`
+	Attribution    []AttributionComponent `json:"attribution,omitempty"`
+	Exemplars      []Exemplar             `json:"exemplars,omitempty"`
+	HotPartitions  []PartitionSnapshot    `json:"hot_partitions,omitempty"`
+	Partitions     []PartitionSnapshot    `json:"partitions,omitempty"`
+	Traces         []TraceRecord          `json:"traces,omitempty"`
 }
 
 func stageSnap(name string, h *Histogram) StageSnapshot {
@@ -194,6 +238,8 @@ func (p *Pipeline) Snapshot(includeAllPartitions bool) Snapshot {
 		BatchOccupancy: p.BatchOccupancy.Snapshot(),
 		Faults:         p.Faults.Snapshot(),
 		Routing:        p.Routing.Snapshot(),
+		Attribution:    p.Attribution(),
+		Exemplars:      p.Tracer.Exemplars(),
 		HotPartitions:  p.Parts.Hottest(p.topPartitions),
 		Traces:         p.Tracer.Recent(),
 	}
@@ -238,6 +284,25 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 	w.Histogram("tagmatch_batch_occupancy_queries",
 		"Queries per batch at dispatch time.",
 		nil, p.BatchOccupancy.Snapshot(), 1)
+	w.Histogram("tagmatch_queue_wait_seconds",
+		"Queue wait before a pipeline stage (input: submit->preprocess pickup per query; batch: batch open->dispatch per batch).",
+		Labels{{"queue", "input"}}, p.InputWait.Snapshot(), 1e-9)
+	w.Histogram("tagmatch_queue_wait_seconds", "",
+		Labels{{"queue", "batch"}}, p.BatchWait.Snapshot(), 1e-9)
+	for _, op := range []struct {
+		kind string
+		h    *OpHist
+	}{
+		{"h2d", &p.GPUH2D},
+		{"kernel", &p.GPUKernel},
+		{"d2h", &p.GPUD2H},
+	} {
+		w.Histogram("tagmatch_gpu_op_duration_seconds",
+			"Device operation latency by kind and phase (wait: stream enqueue->start; service: start->done).",
+			Labels{{"op", op.kind}, {"phase", "wait"}}, op.h.Wait.Snapshot(), 1e-9)
+		w.Histogram("tagmatch_gpu_op_duration_seconds", "",
+			Labels{{"op", op.kind}, {"phase", "service"}}, op.h.Service.Snapshot(), 1e-9)
+	}
 	p.Faults.writeProm(w)
 	p.Routing.writeProm(w)
 

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,16 +12,23 @@ import (
 // through the pipeline. Sampling costs one atomic increment per query;
 // non-sampled queries carry a nil *Trace and pay nothing further. The
 // last completed traces are kept in a fixed-size ring, retrievable as
-// structured records (GET /debug/stats serves them as JSON).
+// structured records (GET /debug/stats serves them as JSON and
+// GET /debug/timeline as a Chrome trace-event file).
+//
+// Alongside the ring, the tracer keeps one exemplar trace ID per
+// power-of-two latency bucket, so the slow tail of the E2E histogram
+// can be tied back to a concrete sampled query ("p99 is 8ms — look at
+// trace 1234 to see where those 8ms went").
 type Tracer struct {
 	every uint64 // 0 = tracing disabled
 	n     atomic.Uint64
 	id    atomic.Uint64
 
-	mu     sync.Mutex
-	ring   []TraceRecord
-	next   int
-	filled bool
+	mu        sync.Mutex
+	ring      []TraceRecord
+	next      int
+	filled    bool
+	exemplars map[int]Exemplar // key: bits.Len64(latency ns)
 }
 
 // NewTracer samples one query in every 'every' (0 disables tracing) and
@@ -28,7 +37,10 @@ func NewTracer(every, keep int) *Tracer {
 	if keep <= 0 {
 		keep = 128
 	}
-	t := &Tracer{ring: make([]TraceRecord, keep)}
+	t := &Tracer{
+		ring:      make([]TraceRecord, keep),
+		exemplars: make(map[int]Exemplar),
+	}
 	if every > 0 {
 		t.every = uint64(every)
 	}
@@ -55,20 +67,34 @@ func (t *Tracer) Maybe() *Trace {
 	}
 }
 
-// Trace accumulates the events of one sampled query. Event appends are
-// serialized by a per-trace mutex; only the sampled fraction of queries
-// ever contend on it.
+// Trace accumulates the events and spans of one sampled query. Appends
+// are serialized by a per-trace mutex; only the sampled fraction of
+// queries ever contend on it.
 type Trace struct {
 	tracer *Tracer
 	mu     sync.Mutex
 	rec    TraceRecord
+	pub    bool // published to the ring; later finalizers are no-ops
 }
 
 // TraceRecord is the exported form of a completed trace.
 type TraceRecord struct {
-	ID     uint64       `json:"id"`
-	Start  time.Time    `json:"start"`
+	ID    uint64    `json:"id"`
+	Start time.Time `json:"start"`
+	// End is the total submit→finalize latency.
+	End time.Duration `json:"end_ns"`
+	// Status is "ok" for a normally completed query, "degraded:<reason>"
+	// when it completed through a fallback path (GPU fault retry, CPU
+	// fallback), and "error:<reason>" when it terminated without results
+	// (load shedding, device death). Traces always publish with a
+	// terminal status; a query can never vanish from the ring silently.
+	Status string       `json:"status"`
 	Events []TraceEvent `json:"events"`
+	// Spans is the parent/child span tree of the query, flat, linked by
+	// name: the root "query" span, its stage children (preprocess,
+	// batch-wait, subset_match, reduce, merge), and the device-op spans
+	// (h2d, kernel, d2h) parented under subset_match.
+	Spans []SpanRecord `json:"spans,omitempty"`
 }
 
 // TraceEvent is one timestamped step of a traced query.
@@ -86,6 +112,23 @@ type TraceEvent struct {
 	N int64 `json:"n"`
 }
 
+// SpanRecord is one timed interval of a traced query, split into a
+// queue-wait phase followed by a service phase. Start is the offset of
+// the wait phase from the trace's start; the service phase covers
+// [Start+Wait, Start+Wait+Dur). Spans form a tree through Parent, which
+// names the enclosing span ("" for the root).
+type SpanRecord struct {
+	Name      string        `json:"name"`
+	Parent    string        `json:"parent,omitempty"`
+	Start     time.Duration `json:"start_ns"`
+	Wait      time.Duration `json:"wait_ns"`
+	Dur       time.Duration `json:"dur_ns"`
+	Partition int32         `json:"partition"`
+	Device    string        `json:"device,omitempty"`
+	Stream    int           `json:"stream"`
+	N         int64         `json:"n"`
+}
+
 // Event records one step. Safe on a nil trace (non-sampled query).
 func (tr *Trace) Event(stage string, partition int32, n int64) {
 	if tr == nil {
@@ -101,16 +144,105 @@ func (tr *Trace) Event(stage string, partition int32, n int64) {
 	tr.mu.Unlock()
 }
 
-// Done finalizes the trace and publishes it to the tracer's ring. Safe on
-// a nil trace.
+// Span records one timed interval: its wait phase began at start (an
+// absolute time, clamped to the trace's start) and lasted wait; the
+// service phase followed for dur. partition is -1 when not applicable,
+// device/stream identify the GPU context for device-op spans (stream -1
+// for host-side spans). Safe on a nil trace.
+func (tr *Trace) Span(name, parent string, start time.Time, wait, dur time.Duration, partition int32, device string, stream int, n int64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	off := start.Sub(tr.rec.Start)
+	if off < 0 {
+		off = 0
+	}
+	tr.rec.Spans = append(tr.rec.Spans, SpanRecord{
+		Name:      name,
+		Parent:    parent,
+		Start:     off,
+		Wait:      wait,
+		Dur:       dur,
+		Partition: partition,
+		Device:    device,
+		Stream:    stream,
+		N:         n,
+	})
+	tr.mu.Unlock()
+}
+
+// Degrade marks the trace as having completed through a fallback path
+// (GPU fault retried elsewhere, CPU fallback). The first reason wins;
+// an error status is never downgraded. Safe on a nil trace.
+func (tr *Trace) Degrade(reason string) {
+	if tr == nil {
+		return
+	}
+	tr.Event("degraded:"+reason, -1, 0)
+	tr.mu.Lock()
+	if tr.rec.Status == "" {
+		tr.rec.Status = "degraded:" + reason
+	}
+	tr.mu.Unlock()
+}
+
+// Fail marks the trace as terminated without results. It overrides a
+// degraded status but keeps the first error reason. Safe on a nil trace.
+func (tr *Trace) Fail(reason string) {
+	if tr == nil {
+		return
+	}
+	tr.Event("error:"+reason, -1, 0)
+	tr.mu.Lock()
+	if !isError(tr.rec.Status) {
+		tr.rec.Status = "error:" + reason
+	}
+	tr.mu.Unlock()
+}
+
+// Abort finalizes a trace that will never reach Done — a query rejected
+// before entering the pipeline (load shedding) — recording the terminal
+// error and publishing immediately. Safe on a nil trace.
+func (tr *Trace) Abort(reason string) {
+	if tr == nil {
+		return
+	}
+	tr.Fail(reason)
+	tr.publish()
+}
+
+func isError(status string) bool {
+	return len(status) >= 6 && status[:6] == "error:"
+}
+
+// Done finalizes the trace and publishes it to the tracer's ring. A
+// trace with no recorded degradation or error publishes with status
+// "ok". Safe on a nil trace.
 func (tr *Trace) Done(keys int64) {
 	if tr == nil {
 		return
 	}
 	tr.Event("done", -1, keys)
+	tr.publish()
+}
+
+// publish snapshots the trace into the ring and the exemplar table,
+// exactly once; repeated finalizations are no-ops.
+func (tr *Trace) publish() {
 	tr.mu.Lock()
+	if tr.pub {
+		tr.mu.Unlock()
+		return
+	}
+	tr.pub = true
+	tr.rec.End = time.Since(tr.rec.Start)
+	if tr.rec.Status == "" {
+		tr.rec.Status = "ok"
+	}
 	rec := tr.rec
 	rec.Events = append([]TraceEvent(nil), tr.rec.Events...)
+	rec.Spans = append([]SpanRecord(nil), tr.rec.Spans...)
 	tr.mu.Unlock()
 
 	t := tr.tracer
@@ -120,6 +252,11 @@ func (tr *Trace) Done(keys int64) {
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.filled = true
+	}
+	t.exemplars[bits.Len64(uint64(rec.End))] = Exemplar{
+		TraceID: rec.ID,
+		Latency: rec.End,
+		Status:  rec.Status,
 	}
 	t.mu.Unlock()
 }
@@ -136,5 +273,29 @@ func (t *Tracer) Recent() []TraceRecord {
 		out = append(out, t.ring[t.next:]...)
 	}
 	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Exemplar ties a latency magnitude back to a concrete sampled query.
+type Exemplar struct {
+	TraceID uint64        `json:"trace_id"`
+	Latency time.Duration `json:"latency_ns"`
+	Status  string        `json:"status,omitempty"`
+}
+
+// Exemplars returns the most recent sampled query per power-of-two E2E
+// latency bucket, slowest last — the trace IDs to pull from Recent (or
+// /debug/timeline) when a latency histogram's tail needs explaining.
+func (t *Tracer) Exemplars() []Exemplar {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Exemplar, 0, len(t.exemplars))
+	for _, e := range t.exemplars {
+		out = append(out, e)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Latency < out[j].Latency })
 	return out
 }

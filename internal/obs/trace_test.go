@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerRingWraparound fills the ring several times over and checks
+// that exactly the last `keep` publications survive, oldest first.
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(1, 4)
+	var ids []uint64
+	for i := 0; i < 11; i++ {
+		sp := tr.Maybe()
+		if sp == nil {
+			t.Fatal("every=1 must sample every query")
+		}
+		sp.Event("preprocess", -1, 0)
+		sp.Done(int64(i))
+		ids = append(ids, sp.rec.ID)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d, want 4", len(recent))
+	}
+	for i, rec := range recent {
+		if want := ids[len(ids)-4+i]; rec.ID != want {
+			t.Fatalf("ring[%d].ID = %d, want %d (oldest-first window)", i, rec.ID, want)
+		}
+		if rec.Status != "ok" {
+			t.Fatalf("ring[%d].Status = %q", i, rec.Status)
+		}
+	}
+}
+
+// TestTraceStatusTransitions pins the terminal-status lattice: first
+// degradation reason wins, an error overrides degradation but keeps the
+// first error reason, and publication is idempotent.
+func TestTraceStatusTransitions(t *testing.T) {
+	tr := NewTracer(1, 8)
+
+	sp := tr.Maybe()
+	sp.Degrade("gpu-fault")
+	sp.Degrade("cpu-fallback") // later degradation: first reason wins
+	sp.Done(0)
+	if got := last(t, tr).Status; got != "degraded:gpu-fault" {
+		t.Fatalf("status = %q, want degraded:gpu-fault", got)
+	}
+
+	sp = tr.Maybe()
+	sp.Degrade("gpu-fault")
+	sp.Fail("device-dead") // error overrides degraded
+	sp.Fail("second")      // first error wins
+	sp.Done(0)
+	if got := last(t, tr).Status; got != "error:device-dead" {
+		t.Fatalf("status = %q, want error:device-dead", got)
+	}
+
+	// Abort publishes immediately; a later Done must not publish again.
+	sp = tr.Maybe()
+	sp.Abort("overloaded")
+	n := len(tr.Recent())
+	sp.Done(42)
+	if got := len(tr.Recent()); got != n {
+		t.Fatalf("Done after Abort republished: ring %d → %d", n, got)
+	}
+	if got := last(t, tr).Status; got != "error:overloaded" {
+		t.Fatalf("status = %q, want error:overloaded", got)
+	}
+}
+
+func last(t *testing.T, tr *Tracer) TraceRecord {
+	t.Helper()
+	recent := tr.Recent()
+	if len(recent) == 0 {
+		t.Fatal("empty ring")
+	}
+	return recent[len(recent)-1]
+}
+
+func TestTraceSpansRecorded(t *testing.T) {
+	tr := NewTracer(1, 4)
+	sp := tr.Maybe()
+	base := sp.rec.Start
+	sp.Span("preprocess", "query", base, 2*time.Millisecond, 3*time.Millisecond, 7, "", -1, 10)
+	// A start before the trace's own start (clock skew between the
+	// submitting goroutine and the stream executor) clamps to zero.
+	sp.Span("h2d", StageSubsetMatch, base.Add(-time.Hour), 0, time.Millisecond, -1, "gpu0", 2, 128)
+	sp.Done(1)
+
+	rec := last(t, tr)
+	if len(rec.Spans) != 2 {
+		t.Fatalf("spans = %+v", rec.Spans)
+	}
+	pp := rec.Spans[0]
+	if pp.Name != "preprocess" || pp.Parent != "query" || pp.Wait != 2*time.Millisecond ||
+		pp.Dur != 3*time.Millisecond || pp.Partition != 7 || pp.N != 10 {
+		t.Fatalf("preprocess span = %+v", pp)
+	}
+	h2d := rec.Spans[1]
+	if h2d.Start != 0 {
+		t.Fatalf("skewed span start = %v, want clamp to 0", h2d.Start)
+	}
+	if h2d.Device != "gpu0" || h2d.Stream != 2 {
+		t.Fatalf("h2d span = %+v", h2d)
+	}
+}
+
+func TestTracerExemplars(t *testing.T) {
+	tr := NewTracer(1, 8)
+	for i := 0; i < 5; i++ {
+		sp := tr.Maybe()
+		sp.Done(0)
+	}
+	ex := tr.Exemplars()
+	if len(ex) == 0 {
+		t.Fatal("no exemplars after published traces")
+	}
+	for i := 1; i < len(ex); i++ {
+		if ex[i].Latency < ex[i-1].Latency {
+			t.Fatalf("exemplars not latency-ascending: %+v", ex)
+		}
+	}
+	for _, e := range ex {
+		if e.TraceID == 0 || e.Status == "" {
+			t.Fatalf("incomplete exemplar %+v", e)
+		}
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines — the
+// sampling counter, per-trace appends from two goroutines (the pipeline
+// appends to a trace from the preprocess worker and the stream executor
+// concurrently), publication, and readers — and relies on -race for the
+// verdict.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(2, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Maybe()
+				if sp == nil {
+					continue
+				}
+				var inner sync.WaitGroup
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					sp.Span("h2d", StageSubsetMatch, time.Now(), 0, time.Microsecond, -1, "d", 0, 1)
+					sp.Event("batch-done", 3, 9)
+				}()
+				sp.Event("preprocess", 1, 2)
+				if i%3 == 0 {
+					sp.Degrade("cpu-fallback")
+				}
+				inner.Wait()
+				sp.Done(int64(i))
+			}
+		}()
+	}
+	readers := make(chan struct{})
+	go func() {
+		defer close(readers)
+		for i := 0; i < 100; i++ {
+			tr.Recent()
+			tr.Exemplars()
+		}
+	}()
+	wg.Wait()
+	<-readers
+	for _, rec := range tr.Recent() {
+		if rec.Status == "" {
+			t.Fatalf("published trace without status: %+v", rec)
+		}
+	}
+}
+
+// TestNonSampledZeroAlloc pins the fast path: a query that is not
+// sampled must cost no allocations — Maybe returns nil and every
+// nil-trace method is a no-op.
+func TestNonSampledZeroAlloc(t *testing.T) {
+	tr := NewTracer(1<<30, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Maybe()
+		sp.Event("preprocess", 1, 2)
+		sp.Span("h2d", StageSubsetMatch, time.Time{}, 0, 0, -1, "", -1, 0)
+		sp.Degrade("x")
+		sp.Fail("y")
+		sp.Done(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("non-sampled query cost %v allocs/op, want 0", allocs)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"tagmatch/internal/core"
@@ -123,10 +124,20 @@ type Config struct {
 
 	// DisableObservability turns off the stage histograms, per-partition
 	// counters and traces of the observability layer, keeping only the
-	// cumulative Stats counters. Overhead with observability on is a few
-	// percent at most (see cmd/tagmatch-bench obs-overhead).
+	// cumulative Stats counters. It also disables the per-device op log
+	// (DeviceOpRecords). Overhead with observability on is a few percent
+	// at most (see cmd/tagmatch-bench obs-overhead).
 	DisableObservability bool
+
+	// Logger receives structured records of operationally significant
+	// events (device quarantine entry/exit, device death, CPU fallbacks).
+	// Nil disables logging.
+	Logger *slog.Logger
 }
+
+// opLogSize is the per-device ring of recent operation records kept for
+// GET /debug/timeline and DeviceOpRecords (when observability is on).
+const opLogSize = 2048
 
 // Engine is a TagMatch subset-matching engine. See the package
 // documentation for the lifecycle; all methods are safe for concurrent
@@ -148,6 +159,9 @@ func New(cfg Config) (*Engine, error) {
 			Workers:        cfg.GPUWorkers,
 			GlobalMemBytes: cfg.GPUMemBytes,
 		}
+		if !cfg.DisableObservability {
+			gcfg.OpLogSize = opLogSize
+		}
 		if cfg.RealisticGPUCosts {
 			gcfg.Cost = gpu.DefaultCost
 		}
@@ -167,6 +181,7 @@ func New(cfg Config) (*Engine, error) {
 		ExactVerify:          cfg.ExactVerify,
 		TraceEvery:           cfg.TraceEvery,
 		DisableObservability: cfg.DisableObservability,
+		Logger:               cfg.Logger,
 	}
 	eng, err := core.New(ccfg)
 	if err != nil {
@@ -247,6 +262,25 @@ func (e *Engine) DeviceStats() []DeviceStat {
 	out := make([]DeviceStat, len(e.devices))
 	for i, d := range e.devices {
 		out[i] = DeviceStat{Name: d.Name(), Stats: d.Stats()}
+	}
+	return out
+}
+
+// DeviceOps pairs a simulated GPU's name with its recent operation
+// records, oldest first.
+type DeviceOps struct {
+	Name string         `json:"name"`
+	Ops  []gpu.OpRecord `json:"ops"`
+}
+
+// DeviceOpRecords returns each device's ring of recent operations (H2D
+// copies, kernel launches, D2H copies) with per-op queue-wait and
+// service times — the raw feed of GET /debug/timeline's device tracks.
+// Empty when DisableObservability is set.
+func (e *Engine) DeviceOpRecords() []DeviceOps {
+	out := make([]DeviceOps, len(e.devices))
+	for i, d := range e.devices {
+		out[i] = DeviceOps{Name: d.Name(), Ops: d.OpRecords()}
 	}
 	return out
 }

@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke obs-smoke obsdiff-gate clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke obs-smoke obsdiff-gate clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
 ## concurrency-heavy packages, the chaos (fault-injection) suite, a
-## short allocation-tracking benchmark pass over the hot path, a
-## reduced-scale smoke run of the routing experiment, the observability
-## export smoke test, and the perf budgets on checked-in baselines.
-check: vet build test race chaos bench-smoke bench-preprocess-smoke obs-smoke obsdiff-gate
+## short allocation-tracking benchmark pass over the hot path,
+## reduced-scale smoke runs of the routing and match-kernel
+## experiments, the observability export smoke test, and the perf
+## budgets on checked-in baselines.
+check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke obs-smoke obsdiff-gate
 
 build:
 	$(GO) build ./...
@@ -67,6 +68,19 @@ bench-preprocess:
 bench-preprocess-smoke:
 	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files preprocess
 
+## bench-kernel: measure the bit-sliced vs. scalar subset-match kernel
+## (ns/query) and the end-to-end throughput of both flavors, re-check
+## exactness under the chaos fault plan on the sliced path, and write
+## BENCH_kernel.json. Use `-format benchstat` by hand to diff runs.
+bench-kernel:
+	$(GO) run ./cmd/tagmatch-bench kernel
+
+## bench-kernel-smoke: the same experiment at reduced scale as a CI
+## gate; -no-bench-files keeps the small-scale numbers from overwriting
+## the committed BENCH_kernel.json.
+bench-kernel-smoke:
+	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files kernel
+
 ## obs-smoke: boot a server, push traffic, and assert the export
 ## surfaces are well-formed — /metrics parses as Prometheus exposition
 ## (with the GPU overlap/utilization/op-latency families), /debug/timeline
@@ -86,6 +100,10 @@ obsdiff-gate:
 		-assert 'results_match>=1' -assert 'cpu_fallbacks>=1' BENCH_chaos.json
 	$(GO) run ./cmd/tagmatch-obsdiff \
 		-assert 'routing_speedup>=2' BENCH_preprocess.json
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'kernel_speedup>=2' -assert 'results_match>=1' \
+		-assert 'chaos_results_match>=1' BENCH_kernel.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json
+	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json
+	rm -rf results

@@ -13,8 +13,13 @@
 // BENCH_obs.json), hotpath (buffer-pooling before/after, also
 // written to BENCH_hotpath.json), chaos (throughput under injected
 // GPU faults and a mid-run device death, also written to
-// BENCH_chaos.json), and preprocess (bit-sliced vs. scalar partition
-// routing, also written to BENCH_preprocess.json).
+// BENCH_chaos.json), preprocess (bit-sliced vs. scalar partition
+// routing, also written to BENCH_preprocess.json), and kernel
+// (bit-sliced vs. scalar subset-match kernel, also written to
+// BENCH_kernel.json).
+//
+// Text-format output is also teed to results/results_scale<scale>.txt
+// (gitignored) so run transcripts accumulate outside the repo root.
 //
 // Flags:
 //
@@ -26,6 +31,8 @@
 //	-format f        output format: text, json, csv, benchstat
 //	-no-bench-files  skip writing BENCH_*.json artifacts (smoke runs at
 //	                 reduced scale must not overwrite committed numbers)
+//	-results-dir d   directory for run transcripts (default "results";
+//	                 empty disables teeing)
 package main
 
 import (
@@ -33,7 +40,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"tagmatch/internal/experiments"
@@ -50,6 +59,7 @@ func main() {
 	flag.IntVar(&p.Queries, "queries", 20000, "queries per measurement")
 	format := flag.String("format", "text", "output format: text, json, csv, benchstat")
 	flag.BoolVar(&noBenchFiles, "no-bench-files", false, "skip writing BENCH_*.json artifacts")
+	resultsDir := flag.String("results-dir", "results", "directory for run transcripts (empty disables)")
 	flag.Parse()
 
 	names := flag.Args()
@@ -61,8 +71,28 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = allNames()
 	}
+
+	// Text runs are teed into the (gitignored) results directory so the
+	// transcript of a recorded run lands outside the repo root.
+	out := io.Writer(os.Stdout)
+	if *format == "text" && *resultsDir != "" {
+		if err := os.MkdirAll(*resultsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*resultsDir, fmt.Sprintf("results_scale%g.txt", p.Scale))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "# tagmatch-bench -scale %g -seed %d -threads %d -gpus %d -queries %d %s\n",
+			p.Scale, p.Seed, p.Threads, p.GPUs, p.Queries, strings.Join(names, " "))
+		out = io.MultiWriter(os.Stdout, f)
+	}
 	for _, name := range names {
-		runOne(name, p, *format)
+		runOne(out, name, p, *format)
 	}
 }
 
@@ -94,11 +124,11 @@ func allNames() []string {
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
 		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
-		"chaos", "preprocess",
+		"chaos", "preprocess", "kernel",
 	}
 }
 
-func runOne(name string, p experiments.Params, format string) {
+func runOne(out io.Writer, name string, p experiments.Params, format string) {
 	start := time.Now()
 	var tables []*experiments.Table
 	switch name {
@@ -157,6 +187,13 @@ func runOne(name string, p experiments.Params, format string) {
 		// the bit-sliced speedup (acceptance bar: ≥2x) is tracked across
 		// commits.
 		writeBenchFile("BENCH_preprocess.json", r)
+	case "kernel":
+		t, r := experiments.Kernel(p)
+		tables = append(tables, t)
+		// Match-kernel before/after numbers land in BENCH_kernel.json so
+		// the bit-sliced speedup (acceptance bar: ≥2x) and the exactness
+		// re-checks are tracked across commits.
+		writeBenchFile("BENCH_kernel.json", r)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
 		os.Exit(2)
@@ -164,25 +201,25 @@ func runOne(name string, p experiments.Params, format string) {
 	for _, t := range tables {
 		switch format {
 		case "json":
-			if err := t.WriteJSON(os.Stdout); err != nil {
+			if err := t.WriteJSON(out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		case "csv":
-			if err := t.WriteCSV(os.Stdout); err != nil {
+			if err := t.WriteCSV(out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		case "benchstat":
-			if err := t.WriteBenchstat(os.Stdout); err != nil {
+			if err := t.WriteBenchstat(out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		default:
-			t.Print(os.Stdout)
+			t.Print(out)
 		}
 	}
 	if format == "text" {
-		fmt.Printf("  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "  [%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -54,23 +54,66 @@ func (lb *LaneBlock) SetLane(lane int, v Vector) {
 // empties within the first few columns — long before the ~100 relevant
 // columns of a saturated group are exhausted.
 func (lb *LaneBlock) SubsetLanes(q Vector) uint64 {
+	hits, _ := lb.SubsetLanesCols(q)
+	return hits
+}
+
+// SubsetLanesCols is SubsetLanes that additionally reports how many
+// column words the scan touched before returning — the work metric the
+// subset-match kernel's columns-walked telemetry accumulates.
+func (lb *LaneBlock) SubsetLanesCols(q Vector) (uint64, int) {
 	hits := lb.Valid
+	cols := 0
 	for b := 0; b < Blocks; b++ {
 		rel := lb.Used[b] &^ q[b] // used columns at q's zero positions
 		base := b * 64
 		for rel != 0 {
 			w := bits.TrailingZeros64(rel)
+			cols++
 			hits &^= lb.Cols[base+63-w]
 			if hits == 0 {
-				return 0
+				return 0, cols
 			}
 			rel &= rel - 1
 		}
 	}
-	return hits
+	return hits, cols
 }
 
 // Lanes returns the number of populated lanes.
 func (lb *LaneBlock) Lanes() int {
 	return bits.OnesCount64(lb.Valid)
+}
+
+// SlicedGroup is the device-resident unit of the bit-sliced subset-match
+// kernel: a LaneBlock of up to 64 column-transposed tag sets together
+// with the group gate — the bitwise intersection of the member
+// signatures. The gate is contained in every member, so if any member
+// is a subset of a query q then so is the gate; contrapositively, a
+// query that fails gate ⊆ q cannot contain any of the 64 members, and
+// one three-word test discards the whole group. With members sorted
+// lexicographically (as partitions are), neighbors share their leading
+// bits, which keeps the intersection large and the gate selective —
+// the role Algorithm 4's common-prefix block test plays for the scalar
+// kernel.
+type SlicedGroup struct {
+	LaneBlock
+	Gate Vector
+}
+
+// BuildSlicedGroups transposes sets into ⌈n/64⌉ SlicedGroups: set i
+// becomes lane i%64 of group i/64, so (group, lane) recovers the index
+// into the original slice. Callers sort sets beforehand to make the
+// gates selective.
+func BuildSlicedGroups(sets []Vector) []SlicedGroup {
+	groups := make([]SlicedGroup, (len(sets)+63)/64)
+	for g := range groups {
+		grp := &groups[g]
+		grp.Gate = Vector{^uint64(0), ^uint64(0), ^uint64(0)}
+		for lane, i := 0, g*64; lane < 64 && i < len(sets); lane, i = lane+1, i+1 {
+			grp.SetLane(lane, sets[i])
+			grp.Gate = grp.Gate.And(sets[i])
+		}
+	}
+	return groups
 }

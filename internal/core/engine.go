@@ -117,8 +117,15 @@ type dbEntry struct {
 // index is the consolidated, immutable matching state (the dirty-batch
 // bookkeeping below is the one mutable part, guarded by its own mutex).
 type index struct {
-	sets     []bitvec.Vector // flat tagset table, partition-major, sorted within partitions
-	keyOff   []uint32        // CSR offsets into keys; len(sets)+1
+	sets []bitvec.Vector // flat tagset table, partition-major, sorted within partitions
+	// groups is the column-transposed mirror of sets for the bit-sliced
+	// subset-match kernel: partition-major ⌈n/64⌉-group runs, local set
+	// i of a partition in lane i%64 of group grpOff+i/64 (see
+	// partition.grpOff). Nil when Config.ScalarKernel disables the
+	// sliced flavor. The host copy also serves the CPU execution path
+	// and the overflow/fault fallback.
+	groups   []bitvec.SlicedGroup
+	keyOff   []uint32 // CSR offsets into keys; len(sets)+1
 	keys     []Key
 	keyTags  [][]string // aligned with keys; populated only in ExactVerify mode
 	parts    []partition
@@ -137,11 +144,12 @@ type index struct {
 	dirty      []uint32
 	dirtySpare []uint32
 
-	devices    []*gpu.Device
-	devBufs    []*gpu.Buffer[bitvec.Vector]
-	streams    chan *streamCtx   // replicated mode: shared pool
-	devStreams []chan *streamCtx // partitioned mode: per-device pools
-	allStreams []*streamCtx
+	devices      []*gpu.Device
+	devBufs      []*gpu.Buffer[bitvec.Vector]
+	devGroupBufs []*gpu.Buffer[bitvec.SlicedGroup] // transposed index per device (nil per entry when sliced kernel disabled)
+	streams      chan *streamCtx                   // replicated mode: shared pool
+	devStreams   []chan *streamCtx                 // partitioned mode: per-device pools
+	allStreams   []*streamCtx
 
 	hostBytes int64
 }
@@ -485,11 +493,21 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 		if nDev > 0 {
 			dev = pi % nDev
 		}
+		grpOff := uint32(len(idx.groups))
+		if !e.cfg.ScalarKernel {
+			// Column-transpose the partition for the sliced kernel. The
+			// lexicographic sort above doubles as the gate optimizer: it
+			// clusters similar signatures into the same 64-lane group,
+			// maximizing each group's intersection.
+			idx.groups = append(idx.groups,
+				bitvec.BuildSlicedGroups(idx.sets[off:])...)
+		}
 		idx.parts[pi] = partition{
-			mask: spec.mask,
-			off:  off,
-			n:    uint32(len(spec.members)),
-			dev:  dev,
+			mask:   spec.mask,
+			off:    off,
+			n:      uint32(len(spec.members)),
+			dev:    dev,
+			grpOff: grpOff,
 		}
 	}
 	idx.pt, idx.maskless = buildPartitionTable(idx.parts)
@@ -504,31 +522,42 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 			idx.release()
 			idx.devices = nil
 			idx.devBufs = nil
+			idx.devGroupBufs = nil
 			idx.streams = nil
 			idx.devStreams = nil
 			degraded = fmt.Errorf("%w: %w", ErrDeviceDegraded, err)
 		}
 	}
 
-	// Host memory accounting (Fig 9): tagset table host copy, key table,
-	// CSR offsets, partition table (scalar bins + bit-sliced groups).
+	// Host memory accounting (Fig 9): tagset table host copy (24 B/set),
+	// its transposed mirror for the sliced kernel (1592 B per 64-set
+	// SlicedGroup ≈ 24.9 B/set), key table, CSR offsets, partition table
+	// (scalar bins + bit-sliced groups).
 	idx.hostBytes = int64(len(idx.sets))*24 +
+		int64(len(idx.groups))*slicedGroupBytes +
 		int64(len(idx.keys))*4 +
 		int64(len(idx.keyOff))*4 +
 		int64(idx.pt.entries())*28 +
 		idx.pt.slicedBytes() +
-		int64(len(idx.parts))*40
+		int64(len(idx.parts))*48
 	return idx, degraded
 }
+
+// slicedGroupBytes is the in-memory size of one bitvec.SlicedGroup:
+// 192 column words + 3 used-mask words + the valid word + the 3-word
+// gate, 8 bytes each. Asserted against unsafe.Sizeof in the tests.
+const slicedGroupBytes = (bitvec.W + bitvec.Blocks + 1 + bitvec.Blocks) * 8
 
 // uploadToDevices allocates and fills the device-resident tagset tables
 // and opens the stream pools with their per-stream batch buffers.
 func (e *Engine) uploadToDevices(idx *index) error {
 	nDev := len(idx.devices)
 	idx.devBufs = make([]*gpu.Buffer[bitvec.Vector], nDev)
+	idx.devGroupBufs = make([]*gpu.Buffer[bitvec.SlicedGroup], nDev)
 
 	if e.cfg.Replicate {
-		// Full replication: every device holds the whole table.
+		// Full replication: every device holds the whole table (and its
+		// transposed mirror for the sliced kernel).
 		for d, dev := range idx.devices {
 			buf, err := gpu.Alloc[bitvec.Vector](dev, len(idx.sets))
 			if err != nil {
@@ -538,14 +567,27 @@ func (e *Engine) uploadToDevices(idx *index) error {
 				return err
 			}
 			idx.devBufs[d] = buf
+			if idx.groups == nil {
+				continue
+			}
+			gbuf, err := gpu.Alloc[bitvec.SlicedGroup](dev, len(idx.groups))
+			if err != nil {
+				return fmt.Errorf("uploading transposed index to %s: %w", dev.Name(), err)
+			}
+			if err := gbuf.CopyToDevice(0, idx.groups); err != nil {
+				return err
+			}
+			idx.devGroupBufs[d] = gbuf
 		}
 	} else {
 		// Partitioned placement: device d holds only its partitions,
 		// re-packed contiguously. Because partitions are assigned
 		// round-robin in partition order and the flat table is
-		// partition-major, each device's slice is a gather of ranges.
+		// partition-major, each device's slice is a gather of ranges;
+		// the transposed mirror gathers whole-group runs the same way.
 		for d, dev := range idx.devices {
 			var mine []bitvec.Vector
+			var mineGroups []bitvec.SlicedGroup
 			for pi := range idx.parts {
 				if idx.parts[pi].dev != d {
 					continue
@@ -553,6 +595,12 @@ func (e *Engine) uploadToDevices(idx *index) error {
 				p := &idx.parts[pi]
 				p.devOff = uint32(len(mine))
 				mine = append(mine, idx.sets[p.off:p.off+p.n]...)
+				if idx.groups != nil {
+					p.devGrpOff = uint32(len(mineGroups))
+					nG := (int(p.n) + 63) / 64
+					mineGroups = append(mineGroups,
+						idx.groups[p.grpOff:int(p.grpOff)+nG]...)
+				}
 			}
 			buf, err := gpu.Alloc[bitvec.Vector](dev, len(mine))
 			if err != nil {
@@ -562,6 +610,17 @@ func (e *Engine) uploadToDevices(idx *index) error {
 				return err
 			}
 			idx.devBufs[d] = buf
+			if idx.groups == nil {
+				continue
+			}
+			gbuf, err := gpu.Alloc[bitvec.SlicedGroup](dev, len(mineGroups))
+			if err != nil {
+				return fmt.Errorf("uploading transposed shard to %s: %w", dev.Name(), err)
+			}
+			if err := gbuf.CopyToDevice(0, mineGroups); err != nil {
+				return err
+			}
+			idx.devGroupBufs[d] = gbuf
 		}
 	}
 
@@ -628,6 +687,10 @@ func (idx *index) release() {
 		b.Free()
 	}
 	idx.devBufs = nil
+	for _, b := range idx.devGroupBufs {
+		b.Free()
+	}
+	idx.devGroupBufs = nil
 }
 
 // Close drains the pipeline and releases all resources. The engine cannot
@@ -699,33 +762,39 @@ func (e *Engine) awaitDrain() {
 func (e *Engine) Stats() Stats {
 	idx := e.idx.Load()
 	st := Stats{
-		UniqueSets:         len(idx.sets),
-		Partitions:         len(idx.parts),
-		Keys:               len(idx.keys),
-		QueriesSubmitted:   e.submitted.Load(),
-		QueriesCompleted:   e.completed.Load(),
-		BatchesDispatched:  e.batches.Load(),
-		BatchesTimedOut:    e.batchesTimedOut.Load(),
-		PairsProduced:      e.pairs.Load(),
-		KeysDelivered:      e.keysDelivered.Load(),
-		ResultOverflows:    e.overflows.Load(),
-		PartitionsSearched: e.partsSearched.Load(),
-		RoutedSliced:       e.obs.Routing.SlicedQueries.Load(),
-		RoutedScalar:       e.obs.Routing.ScalarQueries.Load(),
-		RouteMergeLocks:    e.obs.Routing.MergeLockAcqs.Load(),
-		RouteAppends:       e.obs.Routing.MergedAppends.Load(),
-		HostBytes:          idx.hostBytes,
-		LastConsolidate:    time.Duration(e.consolidateTime.Load()),
-		PreprocessTime:     time.Duration(e.preprocessNs.Load()),
-		SubsetMatchTime:    time.Duration(e.matchNs.Load()),
-		ReduceTime:         time.Duration(e.reduceNs.Load()),
-		GPUFaults:          e.obs.Faults.GPUFaults.Load(),
-		BatchRetries:       e.obs.Faults.BatchRetries.Load(),
-		CPUFallbacks:       e.obs.Faults.CPUFallbacks.Load(),
-		DeviceQuarantines:  e.obs.Faults.Quarantines.Load(),
-		RecoveryProbes:     e.obs.Faults.Probes.Load(),
-		DeviceRecoveries:   e.obs.Faults.Recoveries.Load(),
-		QueriesShed:        e.obs.Faults.QueriesShed.Load(),
+		UniqueSets:          len(idx.sets),
+		Partitions:          len(idx.parts),
+		Keys:                len(idx.keys),
+		QueriesSubmitted:    e.submitted.Load(),
+		QueriesCompleted:    e.completed.Load(),
+		BatchesDispatched:   e.batches.Load(),
+		BatchesTimedOut:     e.batchesTimedOut.Load(),
+		PairsProduced:       e.pairs.Load(),
+		KeysDelivered:       e.keysDelivered.Load(),
+		ResultOverflows:     e.overflows.Load(),
+		PartitionsSearched:  e.partsSearched.Load(),
+		RoutedSliced:        e.obs.Routing.SlicedQueries.Load(),
+		RoutedScalar:        e.obs.Routing.ScalarQueries.Load(),
+		RouteMergeLocks:     e.obs.Routing.MergeLockAcqs.Load(),
+		RouteAppends:        e.obs.Routing.MergedAppends.Load(),
+		KernelSliced:        e.obs.Kernel.SlicedBatches.Load(),
+		KernelScalar:        e.obs.Kernel.ScalarBatches.Load(),
+		KernelGateChecks:    e.obs.Kernel.GateChecks.Load(),
+		KernelGatePruned:    e.obs.Kernel.GatePruned.Load(),
+		KernelGroupScans:    e.obs.Kernel.GroupScans.Load(),
+		KernelColumnsWalked: e.obs.Kernel.ColumnsWalked.Load(),
+		HostBytes:           idx.hostBytes,
+		LastConsolidate:     time.Duration(e.consolidateTime.Load()),
+		PreprocessTime:      time.Duration(e.preprocessNs.Load()),
+		SubsetMatchTime:     time.Duration(e.matchNs.Load()),
+		ReduceTime:          time.Duration(e.reduceNs.Load()),
+		GPUFaults:           e.obs.Faults.GPUFaults.Load(),
+		BatchRetries:        e.obs.Faults.BatchRetries.Load(),
+		CPUFallbacks:        e.obs.Faults.CPUFallbacks.Load(),
+		DeviceQuarantines:   e.obs.Faults.Quarantines.Load(),
+		RecoveryProbes:      e.obs.Faults.Probes.Load(),
+		DeviceRecoveries:    e.obs.Faults.Recoveries.Load(),
+		QueriesShed:         e.obs.Faults.QueriesShed.Load(),
 	}
 	for _, dev := range idx.devices {
 		st.DeviceBytes = append(st.DeviceBytes, dev.MemInUse())

@@ -753,17 +753,36 @@ func (e *Engine) acquireStream(idx *index, pid uint32, avoid int) *streamCtx {
 	// Two bounded passes over the shared pool: the first insists on a
 	// device other than avoid, the second accepts any usable device (a
 	// single-device engine retries on another stream of the same GPU).
+	// Each pass drains and re-enqueues the whole pool; when every device
+	// is quarantined that is pure channel churn, and with many batches
+	// falling back concurrently the passes would otherwise spin hot
+	// against each other. A short sleep before the second pass bounds
+	// the churn — unless the first pass saw a usable stream it rejected
+	// only for being on the avoided device, in which case the retry
+	// should proceed immediately.
+	sawAvoided := false
 	for pass := 0; pass < 2; pass++ {
+		if pass == 1 && !sawAvoided {
+			time.Sleep(streamAcquireBackoff)
+		}
 		for i := 0; i <= cap(idx.streams); i++ {
 			sc := <-idx.streams
-			if (pass == 1 || sc.dev != avoid) && e.deviceUsable(sc.dev) {
-				return sc
+			if e.deviceUsable(sc.dev) {
+				if pass == 1 || sc.dev != avoid {
+					return sc
+				}
+				sawAvoided = true
 			}
 			idx.streams <- sc
 		}
 	}
 	return nil
 }
+
+// streamAcquireBackoff separates acquireStream's two scan passes when
+// the first found no usable device at all (typically: every device
+// quarantined), so concurrent fallbacks don't spin hot on the pool.
+const streamAcquireBackoff = 500 * time.Microsecond
 
 // gpuDispatchAttempt runs one GPU attempt for the batch. attempt 0 is the
 // initial dispatch; a failed attempt is retried once (attempt 1) on a
@@ -785,9 +804,27 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	}
 	globalBase := int(p.off)
 	nQ := len(b.sigs)
-	grid := gpu.Grid{
-		Blocks:   (int(p.n) + e.cfg.BlockDim - 1) / e.cfg.BlockDim,
-		BlockDim: e.cfg.BlockDim,
+
+	// Kernel flavor: the bit-sliced kernel walks the partition's
+	// transposed groups (one 64-set group per thread); the scalar
+	// ablation keeps one set per thread. Both emit through the same
+	// result path and produce identical pairs.
+	sliced := !e.cfg.ScalarKernel && idx.groups != nil
+	nGroups := (int(p.n) + 63) / 64
+	grpOff := int(p.grpOff)
+	if !e.cfg.Replicate {
+		grpOff = int(p.devGrpOff)
+	}
+	var grid gpu.Grid
+	if sliced {
+		grid = slicedGrid(nGroups, e.cfg.BlockDim)
+		e.obs.Kernel.SlicedBatches.Add(1)
+	} else {
+		grid = gpu.Grid{
+			Blocks:   (int(p.n) + e.cfg.BlockDim - 1) / e.cfg.BlockDim,
+			BlockDim: e.cfg.BlockDim,
+		}
+		e.obs.Kernel.ScalarBatches.Add(1)
 	}
 
 	release := func() {
@@ -813,9 +850,16 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		// Ablation: two separate id arrays, two result copies.
 		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, hdrZero)
 		gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
-		sc.stream.LaunchAsync(grid, splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
-			sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
-			e.partCounters(b.pid)))
+		if sliced {
+			sc.stream.LaunchAsync(grid, slicedSplitMatchKernelAt(idx.devGroupBufs[dev],
+				grpOff, nGroups, globalBase, sc.qbuf, nQ, sc.splitQ, sc.splitS,
+				e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+				e.partCounters(b.pid), &e.obs.Kernel))
+		} else {
+			sc.stream.LaunchAsync(grid, splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
+				sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+				e.partCounters(b.pid)))
+		}
 		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, sc.hdrHost, 0)
 		sc.stream.CallbackErr(func(opErr error) {
 			if opErr != nil {
@@ -855,9 +899,16 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	// of cudaMemsetAsync), copy the batch, launch, then transfer results.
 	gpu.CopyToDeviceAsync(sc.stream, sc.hdr, 0, hdrZero)
 	gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
-	sc.stream.LaunchAsync(grid, matchKernelAt(buf, partOff, int(p.n), globalBase,
-		sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
-		e.partCounters(b.pid)))
+	if sliced {
+		sc.stream.LaunchAsync(grid, slicedMatchKernelAt(idx.devGroupBufs[dev],
+			grpOff, nGroups, globalBase, sc.qbuf, nQ, sc.hdr, sc.pairs,
+			e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+			e.partCounters(b.pid), &e.obs.Kernel))
+	} else {
+		sc.stream.LaunchAsync(grid, matchKernelAt(buf, partOff, int(p.n), globalBase,
+			sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+			e.partCounters(b.pid)))
+	}
 
 	if e.cfg.SizeThenCopy {
 		// Ablation: the naive scheme — copy the 4-byte size, then issue
@@ -1089,9 +1140,19 @@ func (e *Engine) reduceOne(res *batchResult) {
 				pc.Overflows.Add(1)
 			}
 		}
-		sets := idx.sets[p.off : p.off+p.n]
-		sc.qIdx = cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim,
-			!e.cfg.DisablePrefilter, pc, sc.qIdx, visit)
+		if !e.cfg.ScalarKernel && idx.groups != nil {
+			// Host-side bit-sliced match: same flavor as the device
+			// kernel, so counters and parity hold across fallbacks.
+			nG := (int(p.n) + 63) / 64
+			e.obs.Kernel.SlicedBatches.Add(1)
+			cpuMatchBatchSliced(idx.groups[p.grpOff:int(p.grpOff)+nG], int(p.off),
+				b.sigs, !e.cfg.DisablePrefilter, pc, &e.obs.Kernel, visit)
+		} else {
+			sets := idx.sets[p.off : p.off+p.n]
+			e.obs.Kernel.ScalarBatches.Add(1)
+			sc.qIdx = cpuMatchBatch(sets, int(p.off), b.sigs, e.cfg.BlockDim,
+				!e.cfg.DisablePrefilter, pc, sc.qIdx, visit)
+		}
 	case payloadPacked:
 		decodePacked(res.packed, res.count, visit)
 	case payloadSplit:

@@ -150,6 +150,17 @@ type Config struct {
 	// against each other). Results are identical either way.
 	ScalarRouting bool
 
+	// ScalarKernel replaces the bit-sliced (column-transposed)
+	// subset-match kernel with the retained scalar per-thread kernel of
+	// Algorithms 3 and 4 — one set per thread, three word operations per
+	// subset check (ablation; the kernel benchmark measures the two
+	// flavors against each other, and the differential tests hold them
+	// to exact pair-for-pair parity). A scalar-kernel engine skips
+	// building and uploading the transposed group index entirely, so it
+	// also reproduces the pre-sliced memory footprint. Results are
+	// identical either way.
+	ScalarKernel bool
+
 	// DisablePooling turns off the hot-path buffer recycling (query
 	// structs, batches, result carriers, reduce scratch), allocating
 	// fresh objects for every query and batch instead. Used by the
@@ -247,6 +258,17 @@ type Stats struct {
 	RouteMergeLocks int64 `json:"route_merge_locks"`
 	RouteAppends    int64 `json:"route_appends"`
 
+	// Subset-match kernel counters (mirrors of obs.KernelCounters):
+	// batches executed per kernel flavor, group-gate effectiveness
+	// (KernelGatePruned / KernelGateChecks is the gate hit rate), and
+	// the column words touched by the bit-sliced walk.
+	KernelSliced        int64 `json:"kernel_sliced"`
+	KernelScalar        int64 `json:"kernel_scalar"`
+	KernelGateChecks    int64 `json:"kernel_gate_checks"`
+	KernelGatePruned    int64 `json:"kernel_gate_pruned"`
+	KernelGroupScans    int64 `json:"kernel_group_scans"`
+	KernelColumnsWalked int64 `json:"kernel_columns_walked"`
+
 	// Fault-tolerance counters (mirrors of obs.FaultCounters): failed
 	// GPU batch attempts, re-dispatches, host re-runs, circuit-breaker
 	// transitions, and overload rejections.
@@ -292,6 +314,14 @@ type partition struct {
 	n      uint32
 	dev    int    // owning device index when not replicating
 	devOff uint32 // offset in the owning device's shard (partitioned mode)
+
+	// Offsets of the partition's ⌈n/64⌉ bit-sliced groups in the flat
+	// transposed index (index.groups / the device group buffers); local
+	// set i lives in lane i%64 of group grpOff+i/64. devGrpOff is the
+	// per-device analogue of devOff in partitioned mode. Both are zero
+	// when the engine runs the scalar kernel (no transposed index).
+	grpOff    uint32
+	devGrpOff uint32
 
 	batch *openBatch // current filling batch; guarded by the partition lock
 

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/core"
+	"tagmatch/internal/gpu"
+)
+
+// KernelRun is one end-to-end engine measurement of the match-kernel
+// comparison: the kernel flavor, the achieved throughput, and — for the
+// sliced flavor — the group-gate and column-walk telemetry.
+type KernelRun struct {
+	Kernel  string    `json:"kernel"` // "scalar" or "sliced"
+	QPS     float64   `json:"qps"`
+	RunsQPS []float64 `json:"runs_qps"`
+	Keys    int64     `json:"keys"`
+
+	GateChecks    int64 `json:"gate_checks,omitempty"`
+	GatePruned    int64 `json:"gate_pruned,omitempty"`
+	GroupScans    int64 `json:"group_scans,omitempty"`
+	ColumnsWalked int64 `json:"columns_walked,omitempty"`
+}
+
+// KernelResult is the JSON shape of the match-kernel before/after
+// comparison (BENCH_kernel.json): the isolated subset-match kernel cost
+// per query for the scalar per-thread kernel vs. the bit-sliced
+// column-transposed kernel, end-to-end throughput of engines using each
+// flavor, and the correctness re-checks the sliced path must pass.
+type KernelResult struct {
+	Partitions int `json:"partitions"`
+	Batches    int `json:"batches"`
+	Queries    int `json:"queries"`
+
+	ScalarNsPerQuery float64 `json:"scalar_kernel_ns_per_query"`
+	SlicedNsPerQuery float64 `json:"sliced_kernel_ns_per_query"`
+	// Speedup is scalar/sliced kernel time; the acceptance bar for the
+	// bit-sliced kernel is ≥ 2.
+	Speedup float64 `json:"kernel_speedup"`
+
+	// ResultsMatch: both kernel flavors emitted exactly the brute-force
+	// reference pairs in the isolated benchmark AND the end-to-end
+	// engines returned the same number of matched keys.
+	ResultsMatch bool `json:"results_match"`
+	// ChaosResultsMatch: a sliced-kernel engine under injected GPU
+	// faults (one device death plus 5% op faults on survivors, the
+	// chaos experiment's fault plan) still produced exactly the healthy
+	// sliced engine's matched keys — the degradation ladder's CPU
+	// re-runs use the sliced host path too.
+	ChaosResultsMatch bool `json:"chaos_results_match"`
+
+	// Work telemetry from the isolated parity pass: how often the
+	// per-group gate fired and how many column words a surviving scan
+	// actually walked (of bitvec.W per full scan).
+	GatePruneRate  float64 `json:"gate_prune_rate"`
+	ColumnsPerScan float64 `json:"columns_per_scan"`
+
+	E2E []KernelRun `json:"e2e"`
+}
+
+// Kernel measures the subset-match kernel overhaul: the bit-sliced
+// column-transposed kernel against the retained scalar per-thread
+// kernel, first in isolation (core.KernelBenchmark: identical routing,
+// batching, and result path; only the match loop differs), then end to
+// end through engines differing only in Config.ScalarKernel, and
+// finally re-checking exactness of the sliced path under the chaos
+// experiment's fault plan. Medians of repeated runs are reported.
+func Kernel(p Params) (*Table, *KernelResult) {
+	ds := BuildDataset(p)
+
+	// Isolated kernel cost over the full dataset slice. Each rep runs
+	// both flavors back to back over identical batches, so host drift
+	// hits both equally; per-flavor medians are taken across reps.
+	benchSigs, _ := ds.Slice(1.0)
+	benchQueries := ds.Queries(2048, 1.0, -1, p.Seed+5000)
+	const reps = 5
+	iters := p.Queries / len(benchQueries)
+	if iters < 1 {
+		iters = 1
+	}
+	var scalarNs, slicedNs []float64
+	parity := true
+	var last core.KernelBenchResult
+	for rep := 0; rep < reps; rep++ {
+		r := core.KernelBenchmark(benchSigs, ds.BaseMaxP(), benchQueries,
+			0 /* max batch */, 256, iters, simWorkersPerGPU(1))
+		scalarNs = append(scalarNs, r.ScalarNs)
+		slicedNs = append(slicedNs, r.SlicedNs)
+		parity = parity && r.Parity
+		last = r
+	}
+	scMed, slMed := medianFloat(scalarNs), medianFloat(slicedNs)
+
+	res := &KernelResult{
+		Partitions:       last.Partitions,
+		Batches:          last.Batches,
+		Queries:          p.Queries,
+		ScalarNsPerQuery: scMed,
+		SlicedNsPerQuery: slMed,
+		Speedup:          scMed / slMed,
+	}
+	if last.GateChecks > 0 {
+		res.GatePruneRate = float64(last.GatePruned) / float64(last.GateChecks)
+	}
+	if last.GroupScans > 0 {
+		res.ColumnsPerScan = float64(last.ColumnsWalked) / float64(last.GroupScans)
+	}
+
+	t := &Table{
+		ID:    "kernel",
+		Title: "Bit-sliced subset-match kernel: kernel cost and end-to-end throughput",
+		Cols:  []string{"kernel ns/q", "Kq/s"},
+	}
+
+	// End-to-end: identical engines, identical query stream, only the
+	// kernel flavor differs.
+	sigs, keys := ds.Slice(0.25)
+	queries := ds.Queries(4096, 0.25, -1, p.Seed+5000)
+	for _, flavor := range []struct {
+		name   string
+		scalar bool
+	}{{"scalar", true}, {"sliced", false}} {
+		eng, devs, err := BuildEngine(EngineSpec{
+			Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: p.GPUs,
+			MaxP:   ds.BaseMaxP(),
+			Mutate: func(c *core.Config) { c.ScalarKernel = flavor.scalar },
+		})
+		if err != nil {
+			panic(err)
+		}
+		run := KernelRun{Kernel: flavor.name}
+		var qps []float64
+		for rep := 0; rep < reps; rep++ {
+			r := MeasureEngine(eng, queries, p.Queries, false)
+			qps = append(qps, r.QPS)
+			run.RunsQPS = append(run.RunsQPS, r.QPS)
+			run.Keys = r.Keys
+		}
+		st := eng.Stats()
+		run.GateChecks, run.GatePruned = st.KernelGateChecks, st.KernelGatePruned
+		run.GroupScans, run.ColumnsWalked = st.KernelGroupScans, st.KernelColumnsWalked
+		eng.Close()
+		closeDevices(devs)
+		run.QPS = medianFloat(qps)
+		res.E2E = append(res.E2E, run)
+
+		nsPerQ := scMed
+		if !flavor.scalar {
+			nsPerQ = slMed
+		}
+		t.Add(fmt.Sprintf("%s kernel", flavor.name), nsPerQ, run.QPS/1e3)
+	}
+	res.ResultsMatch = parity &&
+		len(res.E2E) == 2 && res.E2E[0].Keys == res.E2E[1].Keys
+
+	// Chaos re-check on the sliced path: the chaos experiment's fault
+	// plan (device 0 dies mid-run, survivors drop 5% of ops) against a
+	// healthy twin, both sliced. Exactness must survive the retry and
+	// CPU-fallback ladder with the transposed kernel in the loop.
+	gpus := p.GPUs
+	if gpus < 2 {
+		gpus = 2
+	}
+	buildSliced := func() (*core.Engine, []*gpu.Device) {
+		eng, devs, err := BuildEngine(EngineSpec{
+			Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: gpus,
+			MaxP: ds.BaseMaxP(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return eng, devs
+	}
+	hEng, hDevs := buildSliced()
+	h := MeasureEngine(hEng, queries, p.Queries, false)
+	hEng.Close()
+	closeDevices(hDevs)
+
+	fEng, fDevs := buildSliced()
+	fDevs[0].SetFaultPlan(&gpu.FaultPlan{Seed: p.Seed, DieAtOp: 2000})
+	for _, d := range fDevs[1:] {
+		d.SetFaultPlan(&gpu.FaultPlan{
+			Seed:           p.Seed,
+			CopyFailProb:   0.05,
+			LaunchFailProb: 0.05,
+		})
+	}
+	f := MeasureEngine(fEng, queries, p.Queries, false)
+	fSt := fEng.Stats()
+	fEng.Close()
+	closeDevices(fDevs)
+	res.ChaosResultsMatch = h.Keys == f.Keys
+
+	t.Note("match kernel: %.0f ns/q scalar -> %.0f ns/q sliced (%.1fx) over %d partitions, %d batches; median of %d runs",
+		scMed, slMed, res.Speedup, res.Partitions, res.Batches, reps)
+	t.Note("group gate pruned %.1f%% of (group,query) tests; survivors walked %.1f of %d columns",
+		res.GatePruneRate*100, res.ColumnsPerScan, bitvec.W)
+	if res.ResultsMatch {
+		t.Note("results exact: kernel parity vs brute force and equal keys across flavors (%d)", res.E2E[1].Keys)
+	} else {
+		t.Note("RESULT MISMATCH: parity=%v scalar_keys=%d sliced_keys=%d",
+			parity, res.E2E[0].Keys, res.E2E[1].Keys)
+	}
+	if res.ChaosResultsMatch {
+		t.Note("chaos re-check: sliced path exact under faults (%d keys, %d cpu_fallbacks, %d retries)",
+			h.Keys, fSt.CPUFallbacks, fSt.BatchRetries)
+	} else {
+		t.Note("CHAOS MISMATCH on sliced path: healthy=%d faulty=%d keys", h.Keys, f.Keys)
+	}
+	return t, res
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *KernelResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -92,6 +92,11 @@ type Pipeline struct {
 	// accumulators. Always recorded, like Faults; see RoutingCounters.
 	Routing RoutingCounters
 
+	// Kernel counts subset-match activity: kernel flavor per batch,
+	// group-gate effectiveness, and columns walked by the bit-sliced
+	// scan. Always recorded, like Faults; see KernelCounters.
+	Kernel KernelCounters
+
 	// Tracer samples per-query traces.
 	Tracer *Tracer
 
@@ -198,6 +203,7 @@ type Snapshot struct {
 	BatchOccupancy HistSnapshot           `json:"batch_occupancy"`
 	Faults         FaultSnapshot          `json:"faults"`
 	Routing        RoutingSnapshot        `json:"routing"`
+	Kernel         KernelSnapshot         `json:"kernel"`
 	Gauges         map[string]float64     `json:"gauges,omitempty"`
 	Attribution    []AttributionComponent `json:"attribution,omitempty"`
 	Exemplars      []Exemplar             `json:"exemplars,omitempty"`
@@ -238,6 +244,7 @@ func (p *Pipeline) Snapshot(includeAllPartitions bool) Snapshot {
 		BatchOccupancy: p.BatchOccupancy.Snapshot(),
 		Faults:         p.Faults.Snapshot(),
 		Routing:        p.Routing.Snapshot(),
+		Kernel:         p.Kernel.Snapshot(),
 		Attribution:    p.Attribution(),
 		Exemplars:      p.Tracer.Exemplars(),
 		HotPartitions:  p.Parts.Hottest(p.topPartitions),
@@ -305,6 +312,7 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 	}
 	p.Faults.writeProm(w)
 	p.Routing.writeProm(w)
+	p.Kernel.writeProm(w)
 
 	p.gaugeMu.Lock()
 	gauges := append([]gauge(nil), p.gauges...)

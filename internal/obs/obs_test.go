@@ -329,6 +329,47 @@ func TestPipelineSnapshotAndProm(t *testing.T) {
 	}
 }
 
+func TestKernelCountersSnapshotAndProm(t *testing.T) {
+	p := New(Options{})
+	p.Kernel.SlicedBatches.Add(3)
+	p.Kernel.ScalarBatches.Add(1)
+	p.Kernel.GateChecks.Add(10)
+	p.Kernel.GatePruned.Add(4)
+	p.Kernel.GroupScans.Add(6)
+	p.Kernel.ColumnsWalked.Add(90)
+	p.Kernel.Columns.Observe(90)
+
+	snap := p.Snapshot(false)
+	k := snap.Kernel
+	if k.SlicedBatches != 3 || k.ScalarBatches != 1 || k.GateChecks != 10 ||
+		k.GatePruned != 4 || k.GroupScans != 6 || k.ColumnsWalked != 90 {
+		t.Fatalf("kernel snapshot = %+v", k)
+	}
+	if k.Columns.Count != 1 {
+		t.Fatalf("columns histogram count = %d", k.Columns.Count)
+	}
+
+	var sb strings.Builder
+	p.WriteProm(NewPromWriter(&sb))
+	out := sb.String()
+	for _, want := range []string{
+		`tagmatch_kernel_batches_total{flavor="sliced"} 3`,
+		`tagmatch_kernel_batches_total{flavor="scalar"} 1`,
+		`tagmatch_kernel_gate_checks_total 10`,
+		`tagmatch_kernel_gate_pruned_total 4`,
+		`tagmatch_kernel_group_scans_total 6`,
+		`tagmatch_kernel_columns_walked_total 90`,
+		`# TYPE tagmatch_kernel_columns_per_block histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE tagmatch_kernel_batches_total counter") != 1 {
+		t.Fatalf("duplicate kernel family header:\n%s", out)
+	}
+}
+
 func TestDisabledPipeline(t *testing.T) {
 	p := New(Options{Disabled: true, TraceEvery: 5})
 	if p.On {

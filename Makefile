@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke obs-smoke obsdiff-gate clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke bench-tail bench-tail-smoke obs-smoke obsdiff-gate clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
 ## concurrency-heavy packages, the chaos (fault-injection) suite, a
 ## short allocation-tracking benchmark pass over the hot path,
-## reduced-scale smoke runs of the routing and match-kernel
-## experiments, the observability export smoke test, and the perf
-## budgets on checked-in baselines.
-check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke obs-smoke obsdiff-gate
+## reduced-scale smoke runs of the routing, match-kernel, and
+## tail-latency experiments, the observability export smoke test, and
+## the perf budgets on checked-in baselines.
+check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke bench-tail-smoke obs-smoke obsdiff-gate
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,11 @@ race:
 
 ## chaos: the fault-injection suite under the race detector — seeded
 ## deterministic GPU faults, scripted device death, quarantine/recovery,
-## OOM degrade, and overload shedding must all hold with -race on.
+## OOM degrade, overload shedding, straggler injection, deadline
+## propagation, hedged re-dispatch, and snapshot-restore parity must all
+## hold with -race on.
 chaos:
-	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded' \
+	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded|TestStraggler|TestDeadline|TestHedge|TestMatchCtx|TestSnapshotRestore|TestMatchTimeout' \
 		./internal/gpu/ ./internal/core/ ./internal/httpserver/
 
 ## bench-smoke: quick -benchmem pass over the hot-path benchmarks so a
@@ -81,6 +83,19 @@ bench-kernel:
 bench-kernel-smoke:
 	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files kernel
 
+## bench-tail: measure query-latency percentiles with and without hedged
+## re-dispatch while one degraded device straggles on 2% of its
+## operations, and write BENCH_tail.json (hedged p99 must be >= 2x
+## better, gated by obsdiff-gate).
+bench-tail:
+	$(GO) run ./cmd/tagmatch-bench tail
+
+## bench-tail-smoke: the same experiment at reduced scale as a CI gate;
+## -no-bench-files keeps the small-scale numbers from overwriting the
+## committed BENCH_tail.json.
+bench-tail-smoke:
+	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files tail
+
 ## obs-smoke: boot a server, push traffic, and assert the export
 ## surfaces are well-formed — /metrics parses as Prometheus exposition
 ## (with the GPU overlap/utilization/op-latency families), /debug/timeline
@@ -103,7 +118,10 @@ obsdiff-gate:
 	$(GO) run ./cmd/tagmatch-obsdiff \
 		-assert 'kernel_speedup>=2' -assert 'results_match>=1' \
 		-assert 'chaos_results_match>=1' BENCH_kernel.json
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'hedged_p99_improvement>=2' -assert 'hedge_exactness>=1' \
+		-assert 'results_match>=1' BENCH_tail.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json
+	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json BENCH_tail.json
 	rm -rf results

@@ -14,9 +14,11 @@
 // written to BENCH_hotpath.json), chaos (throughput under injected
 // GPU faults and a mid-run device death, also written to
 // BENCH_chaos.json), preprocess (bit-sliced vs. scalar partition
-// routing, also written to BENCH_preprocess.json), and kernel
+// routing, also written to BENCH_preprocess.json), kernel
 // (bit-sliced vs. scalar subset-match kernel, also written to
-// BENCH_kernel.json).
+// BENCH_kernel.json), and tail (query-latency percentiles with and
+// without hedged re-dispatch under injected stragglers, also written
+// to BENCH_tail.json).
 //
 // Text-format output is also teed to results/results_scale<scale>.txt
 // (gitignored) so run transcripts accumulate outside the repo root.
@@ -124,7 +126,7 @@ func allNames() []string {
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
 		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
-		"chaos", "preprocess", "kernel",
+		"chaos", "preprocess", "kernel", "tail",
 	}
 }
 
@@ -194,6 +196,14 @@ func runOne(out io.Writer, name string, p experiments.Params, format string) {
 		// the bit-sliced speedup (acceptance bar: ≥2x) and the exactness
 		// re-checks are tracked across commits.
 		writeBenchFile("BENCH_kernel.json", r)
+	case "tail":
+		t, r := experiments.Tail(p)
+		tables = append(tables, t)
+		// Tail percentiles with and without hedging land in
+		// BENCH_tail.json so the hedging win (acceptance bar: p99 >= 2x
+		// better) and the exactly-once property are tracked across
+		// commits.
+		writeBenchFile("BENCH_tail.json", r)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
 		os.Exit(2)

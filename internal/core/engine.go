@@ -151,6 +151,15 @@ type index struct {
 	devStreams   []chan *streamCtx                 // partitioned mode: per-device pools
 	allStreams   []*streamCtx
 
+	// dispatching fences release() against attempt chains that may still
+	// enqueue stream operations. Before hedging every chain completed
+	// before its queries did, so the drain implied quiescence; a losing
+	// attempt now outlives its batch's settlement (and the queries'
+	// completion), and enqueueing on a closed stream would panic. Held
+	// from chain start until the chain can no longer touch a stream;
+	// armed hedge timers hold it too.
+	dispatching sync.WaitGroup
+
 	hostBytes int64
 }
 
@@ -169,6 +178,18 @@ var ErrBatchSizeTooLarge = errors.New("tagmatch: BatchSize exceeds 256 (query id
 // this to 503 with a Retry-After); SubmitCtx blocks for capacity
 // instead.
 var ErrOverloaded = errors.New("tagmatch: engine overloaded")
+
+// ErrDeadlineExceeded is the terminal status of a query whose context
+// deadline passed (or whose context was cancelled) before its batches
+// launched: the query completes early with MatchResult.Err matching this
+// error, and its expired batch slots never reach a kernel. Deadlines are
+// only observed at pipeline stage boundaries — a query already running
+// on a device finishes normally.
+var ErrDeadlineExceeded = errors.New("tagmatch: query deadline exceeded")
+
+// ErrUnknownHedgeMode is returned by New for a Config.HedgePolicy.Mode
+// that is none of HedgeOff, HedgeFixed, HedgePercentile.
+var ErrUnknownHedgeMode = errors.New("tagmatch: unknown hedge mode")
 
 // ErrDeviceDegraded is returned (wrapped) by Consolidate when uploading
 // the index to the configured devices failed — typically device memory
@@ -675,8 +696,11 @@ func (e *Engine) uploadToDevices(idx *index) error {
 }
 
 // release frees an index's device resources. Called only after the
-// pipeline has drained, so no kernel references the buffers.
+// pipeline has drained, so no kernel references the buffers. The
+// dispatching fence additionally waits out losing hedge-race attempts,
+// which can still be enqueueing stream operations after the drain.
 func (idx *index) release() {
+	idx.dispatching.Wait()
 	for _, sc := range idx.allStreams {
 		sc.stream.Synchronize()
 		sc.free()
@@ -795,6 +819,12 @@ func (e *Engine) Stats() Stats {
 		RecoveryProbes:      e.obs.Faults.Probes.Load(),
 		DeviceRecoveries:    e.obs.Faults.Recoveries.Load(),
 		QueriesShed:         e.obs.Faults.QueriesShed.Load(),
+		DeadlineExpired:     e.obs.Faults.DeadlineExpired.Load(),
+		BatchesCancelled:    e.obs.Faults.BatchesCancelled.Load(),
+		HedgesFired:         e.obs.Faults.HedgesFired.Load(),
+		HedgesWon:           e.obs.Faults.HedgesWon.Load(),
+		HedgesLost:          e.obs.Faults.HedgesLost.Load(),
+		HedgesCancelled:     e.obs.Faults.HedgesCancelled.Load(),
 	}
 	for _, dev := range idx.devices {
 		st.DeviceBytes = append(st.DeviceBytes, dev.MemInUse())

@@ -39,6 +39,20 @@ type query struct {
 	// trace is non-nil for the sampled 1-in-N queries when tracing is
 	// configured; all event methods are nil-safe.
 	trace *obs.Trace
+
+	// deadline and ctx carry the submitter's cancellation state into the
+	// pipeline (both zero for the non-ctx Submit family): batches check
+	// them at dispatch, completing already-expired queries with
+	// ErrDeadlineExceeded instead of spending device time on answers
+	// nobody is waiting for. ctx is stored only when cancellable.
+	deadline time.Time
+	ctx      context.Context
+
+	// expired marks a query completed early with ErrDeadlineExceeded.
+	// The CAS in expire elects exactly one deliverer no matter how many
+	// of the query's batches sweep it concurrently; finish() sees the
+	// flag and only recycles.
+	expired atomic.Bool
 }
 
 // finish decrements the outstanding-batch counter and runs the merge
@@ -47,6 +61,13 @@ type query struct {
 // its finish call — so it also recycles the struct.
 func (q *query) finish(e *Engine, n int32) {
 	if q.pending.Add(-n) != 0 {
+		return
+	}
+	if q.expired.Load() {
+		// expire() already delivered the ErrDeadlineExceeded result and
+		// counted the completion; the last batch reference only recycles.
+		e.pools.putQuery(q)
+		e.notifyProgress()
 		return
 	}
 	q.mu.Lock()
@@ -77,6 +98,49 @@ func (q *query) finish(e *Engine, n int32) {
 	e.pools.putQuery(q)
 	if done != nil {
 		done(MatchResult{Keys: keys, Latency: latency})
+	}
+	e.notifyProgress()
+}
+
+// lapsed reports whether the query can no longer meet its caller's
+// deadline: the deadline passed or the submitting context was cancelled.
+func (q *query) lapsed(now time.Time) bool {
+	if !q.deadline.IsZero() && now.After(q.deadline) {
+		return true
+	}
+	return q.ctx != nil && q.ctx.Err() != nil
+}
+
+// expiryCause builds the terminal error for an expired query: always
+// matchable with ErrDeadlineExceeded, with the context's own error
+// joined in so callers can also distinguish cancellation from timeout.
+func (q *query) expiryCause() error {
+	if q.ctx != nil {
+		if err := q.ctx.Err(); err != nil {
+			return errors.Join(ErrDeadlineExceeded, err)
+		}
+	}
+	return ErrDeadlineExceeded
+}
+
+// expire completes a query early with ErrDeadlineExceeded. The CAS
+// elects exactly one deliverer; losers (other batches holding the same
+// query) return immediately. The query struct is NOT recycled here — it
+// may still sit in other in-flight batches — the last batch reference
+// does that via finish, which sees the expired flag and skips delivery.
+func (q *query) expire(e *Engine, cause error) {
+	if !q.expired.CompareAndSwap(false, true) {
+		return
+	}
+	e.obs.Faults.DeadlineExpired.Add(1)
+	e.completed.Add(1)
+	latency := time.Since(q.start)
+	if q.trace != nil {
+		q.trace.Fail("deadline_exceeded")
+		q.trace.Done(0)
+	}
+	if done := q.done; done != nil {
+		done(MatchResult{Err: cause, Latency: latency})
 	}
 	e.notifyProgress()
 }
@@ -119,6 +183,31 @@ type openBatch struct {
 	sigs       []bitvec.Vector
 	created    time.Time
 	dispatched time.Time
+
+	// deadlined marks that at least one member carries a cancellable
+	// context, so dispatch runs the expiry sweep; deadline-free traffic
+	// pays nothing.
+	deadlined bool
+
+	// Tail-tolerance state. settled elects the one attempt — primary
+	// chain or hedge — whose result reaches the reduce stage; refs
+	// counts the attachments that may still touch the batch (the
+	// reduce-stage hold, each in-flight attempt chain, an armed hedge
+	// timer) so recycling waits for the losing attempt; hedged records
+	// that a hedge was launched; hedgeTimer is the armed straggler
+	// budget, disarmed when the batch settles.
+	settled    atomic.Bool
+	refs       atomic.Int32
+	hedged     atomic.Bool
+	hedgeTimer *time.Timer
+	timerIdx   *index // index whose dispatching fence the armed timer holds
+
+	// ctxs snapshots every member's context when ALL members carry one
+	// (empty otherwise), written once at dispatch before any attempt
+	// exists. Late attempt chains poll it — never b.queries, whose
+	// members a rival settle may have recycled — to abandon stream
+	// acquisition once every caller is gone.
+	ctxs []context.Context
 }
 
 // streamCtx bundles a GPU stream with its per-stream device buffers: the
@@ -190,19 +279,19 @@ type batchResult struct {
 // ErrOverloaded when the Config.MaxInFlight admission gate rejects the
 // query (done is not called in either case).
 func (e *Engine) Submit(tags []string, done func(MatchResult)) error {
-	return e.submit(bloom.Signature(tags), e.tagSet(tags), false, done)
+	return e.submit(nil, bloom.Signature(tags), e.tagSet(tags), false, done)
 }
 
 // SubmitUnique enqueues a match-unique(q) operation.
 func (e *Engine) SubmitUnique(tags []string, done func(MatchResult)) error {
-	return e.submit(bloom.Signature(tags), e.tagSet(tags), true, done)
+	return e.submit(nil, bloom.Signature(tags), e.tagSet(tags), true, done)
 }
 
 // SubmitSignature enqueues a match on a pre-computed signature. In
 // ExactVerify mode such queries cannot be verified and behave as plain
 // Bloom matches.
 func (e *Engine) SubmitSignature(sig bitvec.Vector, unique bool, done func(MatchResult)) error {
-	return e.submit(sig, nil, unique, done)
+	return e.submit(nil, sig, nil, unique, done)
 }
 
 // tagSet builds the exact-verification set for a query, or nil when the
@@ -218,7 +307,11 @@ func (e *Engine) tagSet(tags []string) map[string]struct{} {
 	return set
 }
 
-func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool, done func(MatchResult)) error {
+// submit is the common submission path. A non-nil cancellable ctx rides
+// along on the query: its deadline (when set) and cancellation are
+// observed at dispatch time, completing the query early with
+// ErrDeadlineExceeded instead of launching device work for it.
+func (e *Engine) submit(ctx context.Context, sig bitvec.Vector, tags map[string]struct{}, unique bool, done func(MatchResult)) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -252,6 +345,12 @@ func (e *Engine) submit(sig bitvec.Vector, tags map[string]struct{}, unique bool
 	q.start = time.Now()
 	q.idx = e.idx.Load()
 	q.trace = e.obs.Tracer.Maybe()
+	if ctx != nil && ctx.Done() != nil {
+		q.ctx = ctx
+		if d, ok := ctx.Deadline(); ok {
+			q.deadline = d
+		}
+	}
 	q.pending.Store(1) // pre-processing guard
 	e.inputCh <- q
 	e.submitMu.RUnlock()
@@ -270,9 +369,15 @@ func (e *Engine) SubmitUniqueCtx(ctx context.Context, tags []string, done func(M
 	return e.submitCtx(ctx, bloom.Signature(tags), e.tagSet(tags), true, done)
 }
 
+// SubmitSignatureCtx is SubmitSignature with SubmitCtx's blocking
+// admission and deadline propagation.
+func (e *Engine) SubmitSignatureCtx(ctx context.Context, sig bitvec.Vector, unique bool, done func(MatchResult)) error {
+	return e.submitCtx(ctx, sig, nil, unique, done)
+}
+
 func (e *Engine) submitCtx(ctx context.Context, sig bitvec.Vector, tags map[string]struct{}, unique bool, done func(MatchResult)) error {
 	for {
-		err := e.submit(sig, tags, unique, done)
+		err := e.submit(ctx, sig, tags, unique, done)
 		if !errors.Is(err, ErrOverloaded) {
 			return err
 		}
@@ -313,23 +418,43 @@ func (e *Engine) waitCapacity(ctx context.Context) error {
 // after submitting, so it completes promptly even without traffic; use
 // Submit for maximal throughput.
 func (e *Engine) Match(tags []string) ([]Key, error) {
-	return e.blockingMatch(bloom.Signature(tags), e.tagSet(tags), false)
+	return e.blockingMatch(nil, bloom.Signature(tags), e.tagSet(tags), false)
 }
 
 // MatchUnique performs a blocking match-unique(q): the deduplicated set
 // of keys associated with at least one matching set.
 func (e *Engine) MatchUnique(tags []string) ([]Key, error) {
-	return e.blockingMatch(bloom.Signature(tags), e.tagSet(tags), true)
+	return e.blockingMatch(nil, bloom.Signature(tags), e.tagSet(tags), true)
 }
 
 // MatchSignature is Match on a pre-computed signature.
 func (e *Engine) MatchSignature(sig bitvec.Vector, unique bool) ([]Key, error) {
-	return e.blockingMatch(sig, nil, unique)
+	return e.blockingMatch(nil, sig, nil, unique)
 }
 
-func (e *Engine) blockingMatch(sig bitvec.Vector, tags map[string]struct{}, unique bool) ([]Key, error) {
+// MatchCtx is Match with an end-to-end deadline: the context's deadline
+// and cancellation propagate into the pipeline, where expired queries
+// are completed with an error matching ErrDeadlineExceeded before any
+// kernel launch, and the call itself returns promptly when the context
+// ends while waiting.
+func (e *Engine) MatchCtx(ctx context.Context, tags []string) ([]Key, error) {
+	return e.blockingMatch(ctx, bloom.Signature(tags), e.tagSet(tags), false)
+}
+
+// MatchUniqueCtx is MatchUnique with MatchCtx's deadline propagation.
+func (e *Engine) MatchUniqueCtx(ctx context.Context, tags []string) ([]Key, error) {
+	return e.blockingMatch(ctx, bloom.Signature(tags), e.tagSet(tags), true)
+}
+
+// MatchSignatureCtx is MatchSignature with MatchCtx's deadline
+// propagation.
+func (e *Engine) MatchSignatureCtx(ctx context.Context, sig bitvec.Vector, unique bool) ([]Key, error) {
+	return e.blockingMatch(ctx, sig, nil, unique)
+}
+
+func (e *Engine) blockingMatch(ctx context.Context, sig bitvec.Vector, tags map[string]struct{}, unique bool) ([]Key, error) {
 	ch := make(chan MatchResult, 1)
-	if err := e.submit(sig, tags, unique, func(r MatchResult) { ch <- r }); err != nil {
+	if err := e.submit(ctx, sig, tags, unique, func(r MatchResult) { ch <- r }); err != nil {
 		return nil, err
 	}
 	// Drive the pipeline event-driven until the result arrives, riding
@@ -342,6 +467,21 @@ func (e *Engine) blockingMatch(sig bitvec.Vector, tags map[string]struct{}, uniq
 	// window where a batch is created while the waiter is inside
 	// flushAll. No polling ticker: an idle blocking match costs no
 	// flushAll sweeps beyond the ones progress events trigger.
+	//
+	// With a cancellable ctx the context's end also broadcasts the
+	// condvar, so a caller parked in batch-wait unblocks promptly
+	// instead of sleeping until the next progress event. The submitted
+	// query still completes behind the scenes (its done callback writes
+	// to the buffered channel), delivering ErrDeadlineExceeded through
+	// the dispatch-time expiry sweep.
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			e.drainMu.Lock()
+			e.drainCond.Broadcast()
+			e.drainMu.Unlock()
+		})
+		defer stop()
+	}
 	e.drainWaiters.Add(1)
 	defer e.drainWaiters.Add(-1)
 	for {
@@ -349,8 +489,19 @@ func (e *Engine) blockingMatch(sig bitvec.Vector, tags map[string]struct{}, uniq
 		e.flushAll(e.idx.Load())
 		select {
 		case r := <-ch:
-			return r.Keys, nil
+			return r.Keys, r.Err
 		default:
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				// One last chance for a result that raced the cancellation.
+				select {
+				case r := <-ch:
+					return r.Keys, r.Err
+				default:
+				}
+				return nil, errors.Join(ErrDeadlineExceeded, err)
+			}
 		}
 		e.drainMu.Lock()
 		if e.progressEpoch.Load() == ep {
@@ -486,6 +637,12 @@ func (e *Engine) routeOne(w *routeState, q *query) {
 		q.trace.Event(obs.StagePreprocess, -1, int64(len(w.pids)))
 		q.trace.Span(obs.StagePreprocess, "query", q.start, t0.Sub(q.start), spent,
 			-1, "", -1, int64(len(w.pids)))
+		if !q.deadline.IsZero() {
+			// Deadline slack remaining after the pre-process stage; the
+			// dispatch sweep records the pre-launch counterpart, giving
+			// traced queries a per-stage slack attribution.
+			q.trace.Event("deadline-slack-routed", -1, int64(time.Until(q.deadline)))
+		}
 	}
 	q.finish(e, 1)
 }
@@ -525,6 +682,9 @@ func (e *Engine) mergeRoutes(acc *routeAccum) {
 			for _, q := range qs[:take] {
 				b.queries = append(b.queries, q)
 				b.sigs = append(b.sigs, q.sig)
+				if q.ctx != nil {
+					b.deadlined = true
+				}
 				if q.trace != nil {
 					q.trace.Event("batch", int32(pid), int64(len(b.queries)))
 				}
@@ -684,8 +844,24 @@ const (
 
 // dispatch runs the subset-match stage for one batch: on a GPU stream
 // when devices are configured, otherwise synchronously on the calling CPU
-// thread (CPU-only TagMatch).
+// thread (CPU-only TagMatch). Batches carrying deadlined queries are
+// swept first: members whose deadline already passed complete with
+// ErrDeadlineExceeded here, before any device work, and a batch left
+// empty by the sweep is cancelled outright — it never counts as
+// dispatched and never reaches a kernel launch.
 func (e *Engine) dispatch(idx *index, b *openBatch, reason dispatchReason) {
+	if b.deadlined {
+		if b = e.sweepExpired(b); b == nil {
+			return
+		}
+		for _, q := range b.queries {
+			if q.ctx == nil {
+				b.ctxs = b.ctxs[:0] // a ctx-less member can never expire
+				break
+			}
+			b.ctxs = append(b.ctxs, q.ctx)
+		}
+	}
 	e.batches.Add(1)
 	e.inflightBatches.Add(1)
 	if e.obs.On {
@@ -712,26 +888,192 @@ func (e *Engine) dispatch(idx *index, b *openBatch, reason dispatchReason) {
 			}
 		}
 	}
+	b.refs.Store(1) // the reduce-stage hold, dropped by reduceOne
 	if len(idx.devices) == 0 {
-		e.cpuDispatch(idx, b)
+		e.cpuDispatch(idx, b, false)
 		return
 	}
 	e.gpuDispatch(idx, b)
 }
 
-// cpuDispatch executes the batch's subset match inline and forwards the
-// result to the reduce stage.
-func (e *Engine) cpuDispatch(idx *index, b *openBatch) {
+// sweepExpired completes every already-expired query in the batch with
+// ErrDeadlineExceeded and compacts the batch in place. Returns nil when
+// every member expired: the batch is cancelled — recycled without ever
+// counting as dispatched — which pins the invariant that expired
+// queries never reach a kernel launch. Surviving deadline-carrying
+// queries record their remaining slack (the headroom the batching
+// stages left for the device) in the DeadlineSlack histogram.
+func (e *Engine) sweepExpired(b *openBatch) *openBatch {
+	now := time.Now()
+	keepQ, keepS := b.queries[:0], b.sigs[:0]
+	for i, q := range b.queries {
+		if q.lapsed(now) {
+			q.expire(e, q.expiryCause())
+			q.finish(e, 1) // drop this batch's reference
+			continue
+		}
+		if e.obs.On && !q.deadline.IsZero() {
+			slack := q.deadline.Sub(now)
+			e.obs.DeadlineSlack.ObserveDuration(slack)
+			if q.trace != nil {
+				q.trace.Event("deadline-slack-dispatch", int32(b.pid), int64(slack))
+			}
+		}
+		keepQ = append(keepQ, q)
+		keepS = append(keepS, b.sigs[i])
+	}
+	if len(keepQ) == 0 {
+		e.obs.Faults.BatchesCancelled.Add(1)
+		e.pools.putBatch(b)
+		e.notifyProgress()
+		return nil
+	}
+	// Clear the compaction tail so dropped query refs don't linger in
+	// the batch's backing array until its next recycle.
+	clear(b.queries[len(keepQ):])
+	b.queries, b.sigs = keepQ, keepS
+	return b
+}
+
+// cpuDispatch forwards the batch to the reduce stage for a host-side
+// subset match, racing any concurrent attempt through the settle CAS.
+func (e *Engine) cpuDispatch(idx *index, b *openBatch, hedge bool) {
 	res := e.pools.getResult()
 	res.idx, res.batch, res.kind = idx, b, payloadCPU // reduce runs the CPU match
-	e.reduceCh <- res
+	e.deliverResult(b, res, hedge)
 }
 
 // gpuDispatch issues the copy/launch/copy sequence on an acquired stream
 // (§3.3.2). All operations are asynchronous; the final stream callback
-// hands the results to the reduce stage and releases the stream.
+// hands the results to the reduce stage and releases the stream. The
+// sampled traces of the batch are captured once here — before any
+// concurrent attempt exists — and threaded through retries and hedges,
+// which must not re-read b.queries (the reduce stage recycles queries
+// as soon as the winning attempt lands).
 func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
-	e.gpuDispatchAttempt(idx, b, 0, -1)
+	var traced []*obs.Trace
+	if e.obs.Tracing() {
+		for _, q := range b.queries {
+			if q.trace != nil {
+				traced = append(traced, q.trace)
+			}
+		}
+	}
+	e.batchRef(b)
+	idx.dispatching.Add(1)
+	e.gpuDispatchAttempt(idx, b, 0, -1, false, traced)
+}
+
+// batchRef and batchUnref count the attachments that may still touch an
+// openBatch: the reduce-stage hold, each in-flight attempt chain, and
+// an armed hedge timer. Before hedging exactly one attempt chain ever
+// ran, so reduceOne could recycle the batch directly; a losing attempt
+// now outlives the reduce, so the last detacher recycles instead.
+func (e *Engine) batchRef(b *openBatch) { b.refs.Add(1) }
+
+func (e *Engine) batchUnref(b *openBatch) {
+	if n := b.refs.Add(-1); n == 0 {
+		e.pools.putBatch(b)
+	} else if n < 0 {
+		panic("batchUnref: negative refcount")
+	}
+}
+
+// settleBatch claims the exclusive right to complete the batch: exactly
+// one attempt — primary chain or hedge — wins the CAS, extending PR 3's
+// "every batch reaches reduce exactly once" guarantee across racing
+// attempts. The winner also disarms the straggler budget timer; when
+// the timer is stopped before firing, its batch reference and
+// dispatching hold are released on its behalf.
+func (e *Engine) settleBatch(b *openBatch) bool {
+	if !b.settled.CompareAndSwap(false, true) {
+		return false
+	}
+	if t := b.hedgeTimer; t != nil && t.Stop() {
+		b.timerIdx.dispatching.Done()
+		e.batchUnref(b)
+	}
+	return true
+}
+
+// deliverResult forwards one completed attempt's result to the reduce
+// stage if the attempt settled the batch, or discards it when the rival
+// attempt already won the race.
+func (e *Engine) deliverResult(b *openBatch, res *batchResult, hedge bool) {
+	if e.settleBatch(b) {
+		if hedge {
+			e.obs.Faults.HedgesWon.Add(1)
+		}
+		e.reduceCh <- res
+		return
+	}
+	if hedge {
+		e.obs.Faults.HedgesLost.Add(1)
+	}
+	e.pools.putResult(res)
+}
+
+// hedgingEnabled reports whether Config.HedgePolicy arms straggler
+// budgets on GPU dispatches.
+func (e *Engine) hedgingEnabled() bool { return e.cfg.HedgePolicy.Mode != HedgeOff }
+
+// hedgeMinSamples is the per-device successful-batch count below which
+// the percentile budget falls back to MinBudget: hedging off a
+// three-sample "p99" would fire on noise.
+const hedgeMinSamples = 16
+
+// hedgeBudget resolves the straggler budget for a batch dispatched to
+// dev: the fixed budget, or Multiplier times the device's tracked
+// Percentile batch service time once enough samples exist, floored at
+// MinBudget.
+func (e *Engine) hedgeBudget(dev int) time.Duration {
+	hp := &e.cfg.HedgePolicy
+	if hp.Mode == HedgeFixed {
+		return hp.Budget
+	}
+	h := &e.health[dev].svc
+	if h.Count() >= hedgeMinSamples {
+		p := h.Snapshot().QuantileDuration(hp.Percentile)
+		if budget := time.Duration(float64(p) * hp.Multiplier); budget > hp.MinBudget {
+			return budget
+		}
+	}
+	return hp.MinBudget
+}
+
+// maybeHedge fires when a dispatched batch outlives its straggler
+// budget: if the primary attempt still has not settled, the batch is
+// re-dispatched to another healthy device — or the host's same-flavor
+// match — racing the straggler. The settle CAS keeps completion
+// exactly-once; the loser's results are discarded. Runs on the budget
+// timer's goroutine, holding the batch reference and index dispatching
+// hold taken when the timer was armed.
+func (e *Engine) maybeHedge(idx *index, b *openBatch, primary int, traced []*obs.Trace) {
+	defer idx.dispatching.Done()
+	if b.settled.Load() || e.closed.Load() {
+		e.obs.Faults.HedgesCancelled.Add(1)
+		e.batchUnref(b)
+		return
+	}
+	b.hedged.Store(true)
+	e.obs.Faults.HedgesFired.Add(1)
+	e.logger().Debug("hedging straggler batch",
+		"partition", b.pid, "queries", len(b.queries),
+		"primary", e.deviceName(primary))
+	// The "hedge" span covers the primary attempt's run-up to the budget
+	// firing, so the timeline shows how long the straggler was tolerated;
+	// the hedge attempt's own device ops follow as ordinary op spans.
+	now := time.Now()
+	for _, tr := range traced {
+		tr.Span("hedge", "query", b.dispatched, 0, now.Sub(b.dispatched),
+			int32(b.pid), "", -1, int64(primary))
+		tr.Event("hedge-fired", int32(b.pid), int64(primary))
+		tr.Degrade("hedged")
+	}
+	e.batchRef(b)
+	idx.dispatching.Add(1)
+	e.gpuDispatchAttempt(idx, b, 0, primary, true, traced)
+	e.batchUnref(b) // the timer's own hold
 }
 
 // acquireStream pulls a stream whose device is healthy (or due a
@@ -739,44 +1081,127 @@ func (e *Engine) gpuDispatch(idx *index, b *openBatch) {
 // failed prior attempt. It returns nil when no usable stream can be
 // found in a bounded number of tries, in which case the caller re-runs
 // the batch on the host. Skipped streams go straight back into the pool,
-// so quarantining never shrinks the pool itself.
-func (e *Engine) acquireStream(idx *index, pid uint32, avoid int) *streamCtx {
+// so quarantining never shrinks the pool itself. The inter-pass backoff
+// is abandoned — returning nil immediately — when the engine is closing,
+// the batch has already settled (a rival hedge attempt delivered), or
+// every member query has expired: sleeping through any of those would
+// hold up shutdown or burn the callers' remaining deadline for a stream
+// nobody needs anymore.
+func (e *Engine) acquireStream(idx *index, b *openBatch, avoid int) *streamCtx {
 	if !e.cfg.Replicate {
 		// Partitioned placement binds the partition to one device; there
 		// is no alternative device to retry on.
-		dev := idx.parts[pid].dev
+		dev := idx.parts[b.pid].dev
+		if e.acquireAbandoned(b) {
+			return nil
+		}
 		if !e.deviceUsable(dev) {
 			return nil
 		}
-		return <-idx.devStreams[dev]
-	}
-	// Two bounded passes over the shared pool: the first insists on a
-	// device other than avoid, the second accepts any usable device (a
-	// single-device engine retries on another stream of the same GPU).
-	// Each pass drains and re-enqueues the whole pool; when every device
-	// is quarantined that is pure channel churn, and with many batches
-	// falling back concurrently the passes would otherwise spin hot
-	// against each other. A short sleep before the second pass bounds
-	// the churn — unless the first pass saw a usable stream it rejected
-	// only for being on the avoided device, in which case the retry
-	// should proceed immediately.
-	sawAvoided := false
-	for pass := 0; pass < 2; pass++ {
-		if pass == 1 && !sawAvoided {
-			time.Sleep(streamAcquireBackoff)
+		if e.health[dev].quarantined.Load() {
+			// deviceUsable elected this batch as the recovery probe; the
+			// probe must dispatch, so wait out the stream unconditionally.
+			return <-idx.devStreams[dev]
 		}
-		for i := 0; i <= cap(idx.streams); i++ {
-			sc := <-idx.streams
+		for {
+			select {
+			case sc := <-idx.devStreams[dev]:
+				return sc
+			default:
+				if e.acquireAbandoned(b) {
+					return nil
+				}
+				time.Sleep(streamAcquireBackoff)
+			}
+		}
+	}
+	// Replicate mode: scan the shared pool without ever parking on the
+	// channel — a checked-out stream can be hundreds of milliseconds away
+	// behind an injected (or real) straggler, and a batch that has become
+	// moot in the meantime (engine closed, every member's context ended,
+	// or a hedge rival already settled it) must stop waiting for one.
+	// Each round drains whatever is currently pooled, preferring a
+	// device other than avoid but holding a usable avoided stream as the
+	// round's fallback (a single-device engine retries on another stream
+	// of the same GPU). A fruitless round when every device is
+	// quarantined gives up (CPU fallback); a fruitless round with merely
+	// checked-out streams backs off briefly and rescans, re-checking
+	// abandonment around the sleep so expired work never queues behind a
+	// straggler.
+	for {
+		var fallback *streamCtx
+		for i := 0; i < cap(idx.streams); i++ {
+			var sc *streamCtx
+			select {
+			case sc = <-idx.streams:
+			default:
+			}
+			if sc == nil {
+				break // pool exhausted this round
+			}
 			if e.deviceUsable(sc.dev) {
-				if pass == 1 || sc.dev != avoid {
+				// A usable quarantined device means deviceUsable elected
+				// this batch as its recovery probe: dispatch there even if
+				// it is the avoided device, or the probe would leak.
+				if sc.dev != avoid || e.health[sc.dev].quarantined.Load() {
+					if fallback != nil {
+						idx.streams <- fallback
+					}
 					return sc
 				}
-				sawAvoided = true
+				if fallback == nil {
+					fallback = sc
+					continue
+				}
 			}
 			idx.streams <- sc
 		}
+		if fallback != nil {
+			return fallback // only the avoided device is usable
+		}
+		if e.acquireAbandoned(b) || e.allDevicesQuarantined() {
+			return nil
+		}
+		time.Sleep(streamAcquireBackoff)
+		if e.acquireAbandoned(b) {
+			return nil
+		}
 	}
-	return nil
+}
+
+// allDevicesQuarantined reports whether no device can currently serve
+// batches at all; acquireStream stops waiting for pooled streams then
+// (the scan itself still lets recovery probes through, because
+// deviceUsable elects them while the pool is inspected).
+func (e *Engine) allDevicesQuarantined() bool {
+	for d := range e.health {
+		if !e.health[d].quarantined.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// acquireAbandoned reports whether a stream acquisition should give up
+// without its backoff sleep: the engine is closing, a rival attempt has
+// settled the batch, or every member query's context has ended. The
+// expiry check reads the context snapshot captured at dispatch, not
+// b.queries — after a rival settles, the reduce stage recycles the
+// query structs while this attempt is still running, but a context
+// value stays valid forever.
+func (e *Engine) acquireAbandoned(b *openBatch) bool {
+	if e.closed.Load() || b.settled.Load() {
+		return true
+	}
+	if len(b.ctxs) == 0 {
+		return false
+	}
+	for _, ctx := range b.ctxs {
+		if ctx.Err() == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // streamAcquireBackoff separates acquireStream's two scan passes when
@@ -788,12 +1213,26 @@ const streamAcquireBackoff = 500 * time.Microsecond
 // initial dispatch; a failed attempt is retried once (attempt 1) on a
 // stream avoiding the failed device, and a second failure — or no usable
 // stream at all — re-runs the batch on the host, so every batch reaches
-// the reduce stage exactly once no matter how the devices behave.
-func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int) {
+// the reduce stage exactly once no matter how the devices behave. With
+// hedge set, the attempt is a straggler hedge racing the primary chain:
+// it neither retries nor falls back on failure (the primary chain owns
+// the delivery guarantee) and its result goes through the same settle
+// CAS, the loser being discarded. The caller has taken one batch
+// reference and one index dispatching hold for the chain; every
+// terminal path of the chain releases both exactly once.
+func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int, hedge bool, traced []*obs.Trace) {
 	p := &idx.parts[b.pid]
-	sc := e.acquireStream(idx, b.pid, avoid)
+	sc := e.acquireStream(idx, b, avoid)
 	if sc == nil {
-		e.fallbackCPU(idx, b)
+		if hedge {
+			// No device to hedge onto: race the straggler on the host.
+			// Not a fault fallback — only the hedge counters move.
+			e.cpuDispatch(idx, b, true)
+		} else {
+			e.fallbackCPU(idx, b, traced)
+		}
+		e.batchUnref(b)
+		idx.dispatching.Done()
 		return
 	}
 	dev := sc.dev
@@ -836,14 +1275,30 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	}
 
 	// Point the stream's op observer at this batch's sampled traces
-	// before any operation is enqueued.
-	sc.traced = sc.traced[:0]
-	if e.obs.Tracing() {
-		for _, q := range b.queries {
-			if q.trace != nil {
-				sc.traced = append(sc.traced, q.trace)
-			}
-		}
+	// before any operation is enqueued. The traces were captured at
+	// dispatch time (gpuDispatch), NOT re-read from b.queries: on a
+	// retry or hedge the rival attempt may already have settled the
+	// batch and recycled its queries.
+	sc.traced = append(sc.traced[:0], traced...)
+
+	// Arm the straggler budget on the primary chain's first attempt,
+	// before any operation is enqueued (the enqueue's channel send
+	// publishes the timer to the settling callback). The timer holds its
+	// own batch reference and dispatching fence hold; whoever resolves
+	// it — the budget firing, or a settle stopping it first — releases
+	// them. The timer is created inert and started with Reset only after
+	// b.hedgeTimer is assigned: AfterFunc with the real budget could fire
+	// — and lead the hedge chain to read b.hedgeTimer in settleBatch —
+	// before the assignment of its own return value completes.
+	if attempt == 0 && !hedge && e.hedgingEnabled() {
+		e.batchRef(b)
+		idx.dispatching.Add(1)
+		b.timerIdx = idx
+		t := time.AfterFunc(time.Hour, func() {
+			e.maybeHedge(idx, b, dev, traced)
+		})
+		b.hedgeTimer = t
+		t.Reset(e.hedgeBudget(dev))
 	}
 
 	if e.cfg.SplitOutputLayout {
@@ -864,7 +1319,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		sc.stream.CallbackErr(func(opErr error) {
 			if opErr != nil {
 				release()
-				e.batchFault(idx, b, sc, attempt, opErr)
+				e.batchFault(idx, b, sc.dev, attempt, hedge, traced, opErr)
 				return
 			}
 			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
@@ -884,13 +1339,15 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 				if err != nil {
 					e.pools.putResult(res)
 					release()
-					e.batchFault(idx, b, sc, attempt, err)
+					e.batchFault(idx, b, sc.dev, attempt, hedge, traced, err)
 					return
 				}
 			}
-			e.batchOK(sc)
+			e.batchOK(sc, b, hedge)
 			release()
-			e.reduceCh <- res
+			e.deliverResult(b, res, hedge)
+			e.batchUnref(b)
+			idx.dispatching.Done()
 		})
 		return
 	}
@@ -918,7 +1375,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		sc.stream.CallbackErr(func(opErr error) {
 			if opErr != nil {
 				release()
-				e.batchFault(idx, b, sc, attempt, opErr)
+				e.batchFault(idx, b, sc.dev, attempt, hedge, traced, opErr)
 				return
 			}
 			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
@@ -932,13 +1389,15 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 				if err := gpu.CopyFromDeviceNow(sc.stream, sc.pairs, res.packed, 0); err != nil {
 					e.pools.putResult(res)
 					release()
-					e.batchFault(idx, b, sc, attempt, err)
+					e.batchFault(idx, b, sc.dev, attempt, hedge, traced, err)
 					return
 				}
 			}
-			e.batchOK(sc)
+			e.batchOK(sc, b, hedge)
 			release()
-			e.reduceCh <- res
+			e.deliverResult(b, res, hedge)
+			e.batchUnref(b)
+			idx.dispatching.Done()
 		})
 		return
 	}
@@ -953,7 +1412,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	sc.stream.CallbackErr(func(opErr error) {
 		if opErr != nil {
 			release()
-			e.batchFault(idx, b, sc, attempt, opErr)
+			e.batchFault(idx, b, sc.dev, attempt, hedge, traced, opErr)
 			return
 		}
 		rawCount := atomic.LoadUint32(&sc.hdr.Data()[0])
@@ -969,21 +1428,29 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 			if err := gpu.CopyFromDeviceNow(sc.stream, sc.pairs, res.packed, 0); err != nil {
 				e.pools.putResult(res)
 				release()
-				e.batchFault(idx, b, sc, attempt, err)
+				e.batchFault(idx, b, sc.dev, attempt, hedge, traced, err)
 				return
 			}
 		}
-		e.batchOK(sc)
+		e.batchOK(sc, b, hedge)
 		release()
-		e.reduceCh <- res
+		e.deliverResult(b, res, hedge)
+		e.batchUnref(b)
+		idx.dispatching.Done()
 	})
 }
 
 // batchOK records a successful GPU attempt for the dispatching stream's
 // device, resetting its circuit breaker (and completing a recovery probe
-// when the device was quarantined).
-func (e *Engine) batchOK(sc *streamCtx) {
+// when the device was quarantined). Primary attempts also feed the
+// device's batch service-time distribution, from which the percentile
+// hedge mode derives its straggler budget; hedge attempts are excluded
+// so the budget tracks the unhedged baseline.
+func (e *Engine) batchOK(sc *streamCtx, b *openBatch, hedge bool) {
 	e.recordDeviceSuccess(sc.dev)
+	if !hedge {
+		e.health[sc.dev].svc.ObserveDuration(time.Since(b.dispatched))
+	}
 }
 
 // batchFault handles a batch whose GPU attempt failed (copy, launch, or
@@ -991,38 +1458,47 @@ func (e *Engine) batchOK(sc *streamCtx) {
 // the failure is charged to the device's circuit breaker and the batch
 // is retried once on a stream avoiding that device, then — on a second
 // failure — re-run on the host through the same payloadCPU mechanism as
-// a result-buffer overflow, so no submitted query is ever lost. The
-// caller has already released the stream; the retry runs on a fresh
-// goroutine because this method executes on the stream's executor
-// goroutine, which must not block on stream acquisition.
-func (e *Engine) batchFault(idx *index, b *openBatch, sc *streamCtx, attempt int, err error) {
+// a result-buffer overflow, so no submitted query is ever lost. A
+// failed hedge attempt just detaches: the primary chain still owns the
+// delivery guarantee. The caller has already released the stream; the
+// retry runs on a fresh goroutine (inheriting this chain's batch
+// reference and dispatching hold) because this method executes on the
+// stream's executor goroutine, which must not block on stream
+// acquisition.
+func (e *Engine) batchFault(idx *index, b *openBatch, dev, attempt int, hedge bool, traced []*obs.Trace, err error) {
 	e.obs.Faults.GPUFaults.Add(1)
-	e.recordDeviceFailure(sc.dev, err)
-	if e.obs.Tracing() {
-		for _, q := range b.queries {
-			q.trace.Degrade("gpu-fault")
-		}
+	e.recordDeviceFailure(dev, err)
+	if hedge || b.settled.Load() {
+		// Nothing left for this chain to save: a hedge never retries,
+		// and a primary whose batch a rival already settled would only
+		// burn a retry re-computing a delivered result.
+		e.batchUnref(b)
+		idx.dispatching.Done()
+		return
+	}
+	for _, tr := range traced {
+		tr.Degrade("gpu-fault")
 	}
 	if attempt == 0 {
 		e.obs.Faults.BatchRetries.Add(1)
-		go e.gpuDispatchAttempt(idx, b, 1, sc.dev)
+		go e.gpuDispatchAttempt(idx, b, 1, dev, false, traced)
 		return
 	}
-	e.fallbackCPU(idx, b)
+	e.fallbackCPU(idx, b, traced)
+	e.batchUnref(b)
+	idx.dispatching.Done()
 }
 
 // fallbackCPU re-runs a batch on the host after the GPU path gave up on
 // it (device failures, quarantine, no usable stream).
-func (e *Engine) fallbackCPU(idx *index, b *openBatch) {
+func (e *Engine) fallbackCPU(idx *index, b *openBatch, traced []*obs.Trace) {
 	e.obs.Faults.CPUFallbacks.Add(1)
 	e.logger().Debug("batch falling back to CPU",
 		"partition", b.pid, "queries", len(b.queries))
-	if e.obs.Tracing() {
-		for _, q := range b.queries {
-			q.trace.Degrade("cpu-fallback")
-		}
+	for _, tr := range traced {
+		tr.Degrade("cpu-fallback")
 	}
-	e.cpuDispatch(idx, b)
+	e.cpuDispatch(idx, b, false)
 }
 
 // tagsContained reports whether every stored tag is present in the query
@@ -1197,7 +1673,9 @@ func (e *Engine) reduceOne(res *batchResult) {
 	for _, q := range b.queries {
 		q.finish(e, 1)
 	}
-	e.pools.putBatch(b)
+	// Drop the reduce-stage hold; a losing hedge-race attempt may still
+	// be running, in which case the last detacher recycles the batch.
+	e.batchUnref(b)
 	e.pools.putResult(res)
 	e.inflightBatches.Add(-1)
 	e.notifyProgress()

@@ -52,6 +52,9 @@ func (ep *enginePools) putQuery(q *query) {
 	q.keys = nil
 	q.done = nil
 	q.trace = nil
+	q.deadline = time.Time{}
+	q.ctx = nil
+	q.expired.Store(false)
 	ep.query.Put(q)
 }
 
@@ -71,10 +74,12 @@ func (ep *enginePools) getBatch(pid uint32, batchSize int) *openBatch {
 	return b
 }
 
-// putBatch recycles a batch after reduceOne has finished with it: the
-// stream callback that forwarded the result ran after the H2D copy of
-// b.sigs (stream ops are FIFO), so no device operation references the
-// slices anymore.
+// putBatch recycles a batch once nothing references it anymore. For an
+// unhedged batch the stream callback that forwarded the result ran
+// after the H2D copy of b.sigs (stream ops are FIFO), so reduceOne's
+// unref is the last touch; a hedged batch's losing attempt can outlive
+// the reduce, which is why every recycle goes through the refcount
+// (batchUnref) rather than calling this directly from reduceOne.
 func (ep *enginePools) putBatch(b *openBatch) {
 	if ep.disabled {
 		return
@@ -82,6 +87,14 @@ func (ep *enginePools) putBatch(b *openBatch) {
 	clear(b.queries) // drop query refs: they are recycled independently
 	b.queries = b.queries[:0]
 	b.sigs = b.sigs[:0]
+	b.deadlined = false
+	b.settled.Store(false)
+	b.refs.Store(0)
+	b.hedged.Store(false)
+	b.hedgeTimer = nil
+	b.timerIdx = nil
+	clear(b.ctxs) // drop context refs
+	b.ctxs = b.ctxs[:0]
 	ep.batch.Put(b)
 }
 

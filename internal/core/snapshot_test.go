@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"sort"
 	"testing"
+	"time"
+
+	"tagmatch/internal/gpu"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -186,5 +189,104 @@ func TestSnapshotLoadMerges(t *testing.T) {
 	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
 	if fmt.Sprint(got) != "[1 2]" {
 		t.Fatalf("merged load: %v", got)
+	}
+}
+
+// TestSnapshotRestoreSlicedParity restores a snapshot into a GPU-backed
+// engine running the default bit-sliced kernel and holds every answer to
+// exact parity with the brute-force reference: the restore path
+// (LoadSnapshot staging + its internal Consolidate) must rebuild the
+// column-transposed device index identically to a live-built one.
+func TestSnapshotRestoreSlicedParity(t *testing.T) {
+	db := makeTestDB(2000, 5, 3, 91)
+	src, err := New(Config{MaxPartitionSize: 200, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	db.load(src)
+	if err := src.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	devs := []*gpu.Device{newTestGPU(t, 2), newTestGPU(t, 2)}
+	dst, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 32, Threads: 2,
+		Devices: devs, StreamsPerDevice: 2, Replicate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	verifyEngine(t, dst, db, db.makeQueries(1000, 92), false)
+
+	st := dst.Stats()
+	if st.KernelSliced == 0 {
+		t.Fatal("restored engine never ran the bit-sliced kernel")
+	}
+	launches := devs[0].Stats().KernelLaunches + devs[1].Stats().KernelLaunches
+	if launches == 0 {
+		t.Fatal("restored engine never launched on a device")
+	}
+}
+
+// TestSnapshotRestoreChaosParity restores a snapshot and then drives the
+// restored engine under a combined fault-and-straggler plan with hedging
+// enabled: the restored index must stay exact through retries, hedges,
+// and CPU fallbacks, proving restore composes with the whole
+// tail-tolerant dispatch path.
+func TestSnapshotRestoreChaosParity(t *testing.T) {
+	db := makeTestDB(1500, 5, 2, 93)
+	src, err := New(Config{MaxPartitionSize: 200, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	db.load(src)
+	if err := src.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	devs := []*gpu.Device{newTestGPU(t, 2), newTestGPU(t, 2)}
+	dst, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 32, Threads: 2,
+		Devices: devs, StreamsPerDevice: 2, Replicate: true,
+		FailureThreshold:  3,
+		QuarantineBackoff: time.Millisecond,
+		HedgePolicy:       HedgePolicy{Mode: HedgeFixed, Budget: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	devs[0].SetFaultPlan(&gpu.FaultPlan{
+		Seed: 21, CopyFailProb: 0.05, LaunchFailProb: 0.05,
+		SlowProb: 0.02, SlowDelay: 2 * time.Millisecond,
+	})
+
+	verifyEngine(t, dst, db, db.makeQueries(2000, 94), false)
+
+	st := dst.Stats()
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("lost queries: submitted %d completed %d",
+			st.QueriesSubmitted, st.QueriesCompleted)
+	}
+	if st.GPUFaults == 0 {
+		t.Fatal("no GPU faults recorded despite the fault plan")
 	}
 }

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tagmatch/internal/gpu"
+)
+
+// TestDeadlineExpiredNeverLaunches pins the tentpole invariant of
+// deadline propagation: queries whose context has already ended are
+// completed with ErrDeadlineExceeded by the dispatch-time expiry sweep,
+// and since every member of every batch is expired, no batch reaches a
+// kernel launch — the device's launch counter does not move.
+func TestDeadlineExpiredNeverLaunches(t *testing.T) {
+	db := makeTestDB(500, 5, 2, 81)
+	dev := newTestGPU(t, 2)
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 16, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	baseLaunches := dev.Stats().KernelLaunches
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every submission is born expired
+
+	const n = 200
+	queries := db.makeQueries(n, 82)
+	errs := make(chan error, n)
+	for _, q := range queries {
+		if err := e.SubmitSignatureCtx(ctx, q, false, func(r MatchResult) { errs <- r.Err }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	for i := 0; i < n; i++ {
+		err := <-errs
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("expired query %d: err = %v, want ErrDeadlineExceeded", i, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("expired query %d: err = %v does not carry the context cause", i, err)
+		}
+	}
+
+	st := e.Stats()
+	if st.DeadlineExpired != n {
+		t.Fatalf("DeadlineExpired = %d, want %d", st.DeadlineExpired, n)
+	}
+	if st.BatchesCancelled == 0 {
+		t.Fatal("no batches cancelled despite all-expired membership")
+	}
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("lost queries: submitted %d completed %d",
+			st.QueriesSubmitted, st.QueriesCompleted)
+	}
+	if got := dev.Stats().KernelLaunches; got != baseLaunches {
+		t.Fatalf("expired queries reached the device: launches %d -> %d",
+			baseLaunches, got)
+	}
+}
+
+// TestMatchCtxDeadline checks the blocking path: a straggling device
+// holds every batch far beyond the caller's deadline, and MatchSignatureCtx
+// returns promptly with an error matching both ErrDeadlineExceeded and
+// the context cause instead of waiting out the stall.
+func TestMatchCtxDeadline(t *testing.T) {
+	db := makeTestDB(500, 5, 2, 83)
+	dev := newTestGPU(t, 2)
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 16, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPlan(&gpu.FaultPlan{Seed: 5, SlowProb: 1, SlowDelay: 100 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	keys, err := e.MatchSignatureCtx(ctx, db.makeQueries(1, 84)[0], false)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not carry context.DeadlineExceeded", err)
+	}
+	if keys != nil {
+		t.Fatalf("keys = %v alongside a deadline error", keys)
+	}
+	// The batch itself stalls in 100ms steps; the caller must return on
+	// the 5ms deadline, not on batch completion. Allow generous headroom
+	// for scheduling, but far below one full stall chain.
+	if elapsed > 80*time.Millisecond {
+		t.Fatalf("MatchSignatureCtx took %v, want prompt return on the deadline", elapsed)
+	}
+}
+
+// TestHedgeExactlyOnce drives a two-device engine where the first device
+// straggles on every operation and the hedge budget is far below the
+// stall: nearly every batch hedges, the rival attempt lands on the clean
+// device, and despite two attempts racing per batch every query is
+// answered exactly once with exact keys.
+func TestHedgeExactlyOnce(t *testing.T) {
+	db := makeTestDB(1000, 5, 2, 85)
+	devs := []*gpu.Device{newTestGPU(t, 2), newTestGPU(t, 2)}
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 32, Threads: 2,
+		Devices: devs, StreamsPerDevice: 2, Replicate: true,
+		HedgePolicy: HedgePolicy{Mode: HedgeFixed, Budget: 500 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	devs[0].SetFaultPlan(&gpu.FaultPlan{Seed: 6, SlowProb: 1, SlowDelay: 3 * time.Millisecond})
+
+	verifyEngine(t, e, db, db.makeQueries(2000, 86), false)
+
+	st := e.Stats()
+	if st.HedgesFired == 0 {
+		t.Fatal("no hedges fired despite a fully straggling device")
+	}
+	if st.HedgesWon == 0 {
+		t.Fatal("no hedge ever won despite a clean rival device")
+	}
+	if st.HedgesWon+st.HedgesLost > st.HedgesFired {
+		t.Fatalf("hedge accounting: fired %d < won %d + lost %d",
+			st.HedgesFired, st.HedgesWon, st.HedgesLost)
+	}
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("lost or duplicated queries: submitted %d completed %d",
+			st.QueriesSubmitted, st.QueriesCompleted)
+	}
+}
+
+// TestChaosStragglersHedged is the tail-tolerance headline test from the
+// acceptance criteria: 10k queries against two devices under combined
+// chaos — 2% of operations straggling at ~20x magnitude, 5% injected
+// faults, and one device dying mid-run — with hedging enabled. Every
+// query must return exactly the brute-force reference keys (hedged
+// re-dispatch is exactly-once), and hedges must actually have fired.
+func TestChaosStragglersHedged(t *testing.T) {
+	db := makeTestDB(2000, 5, 2, 87)
+	devs := []*gpu.Device{newTestGPU(t, 2), newTestGPU(t, 2)}
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 64, Threads: 4,
+		Devices: devs, StreamsPerDevice: 3, Replicate: true,
+		FailureThreshold:  3,
+		QuarantineBackoff: time.Millisecond,
+		HedgePolicy:       HedgePolicy{Mode: HedgeFixed, Budget: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Device 0 dies a few hundred operations in; device 1 survives under
+	// 5% faults plus 2% stragglers stalled 2ms — ~20x the microsecond
+	// scale of an unslowed simulated operation.
+	devs[0].SetFaultPlan(&gpu.FaultPlan{
+		Seed: 11, DieAtOp: 500, SlowProb: 0.02, SlowDelay: 2 * time.Millisecond,
+	})
+	devs[1].SetFaultPlan(&gpu.FaultPlan{
+		Seed: 12, CopyFailProb: 0.05, LaunchFailProb: 0.05,
+		SlowProb: 0.02, SlowDelay: 2 * time.Millisecond,
+	})
+
+	verifyEngine(t, e, db, db.makeQueries(10000, 88), false)
+
+	if !devs[0].Dead() {
+		t.Fatal("device 0 never reached its scripted death")
+	}
+	st := e.Stats()
+	if st.QueriesCompleted != st.QueriesSubmitted {
+		t.Fatalf("lost queries: submitted %d completed %d",
+			st.QueriesSubmitted, st.QueriesCompleted)
+	}
+	if st.HedgesFired == 0 {
+		t.Fatal("no hedges fired under injected stragglers")
+	}
+	if st.GPUFaults == 0 {
+		t.Fatal("no GPU faults recorded despite active fault plans")
+	}
+	if st.DeviceQuarantines == 0 {
+		t.Fatal("dead device was never quarantined")
+	}
+	slowed := devs[0].Stats().InjectedSlowdowns + devs[1].Stats().InjectedSlowdowns
+	if slowed == 0 {
+		t.Fatal("no stragglers injected despite SlowProb plans")
+	}
+}
+
+// TestHedgePercentileBudget checks the adaptive budget: before the
+// per-device service histogram has hedgeMinSamples observations the
+// budget is the floor, and once warmed it tracks the configured quantile
+// times the multiplier.
+func TestHedgePercentileBudget(t *testing.T) {
+	db := makeTestDB(500, 5, 2, 89)
+	dev := newTestGPU(t, 2)
+	e, err := New(Config{
+		MaxPartitionSize: 200, BatchSize: 16, Threads: 2,
+		Devices: []*gpu.Device{dev}, StreamsPerDevice: 2,
+		HedgePolicy: HedgePolicy{
+			Mode: HedgePercentile, Percentile: 0.99,
+			Multiplier: 3, MinBudget: 750 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db.load(e)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := e.hedgeBudget(0); got != 750*time.Microsecond {
+		t.Fatalf("cold budget = %v, want the MinBudget floor", got)
+	}
+
+	// Warm the histogram past hedgeMinSamples with real batches.
+	verifyEngine(t, e, db, db.makeQueries(600, 90), false)
+	if n := e.health[0].svc.Count(); n < hedgeMinSamples {
+		t.Fatalf("service histogram has %d samples, want >= %d", n, hedgeMinSamples)
+	}
+	warm := e.hedgeBudget(0)
+	if warm < 750*time.Microsecond {
+		t.Fatalf("warm budget %v below the MinBudget floor", warm)
+	}
+	want := time.Duration(float64(e.health[0].svc.Snapshot().QuantileDuration(0.99)) * 3)
+	if want > 750*time.Microsecond && warm != want {
+		t.Fatalf("warm budget = %v, want p99*multiplier = %v", warm, want)
+	}
+}
+
+// TestHedgePolicyValidation checks config validation and defaulting of
+// the hedge policy.
+func TestHedgePolicyValidation(t *testing.T) {
+	if _, err := New(Config{Threads: 1, HedgePolicy: HedgePolicy{Mode: "wild"}}); !errors.Is(err, ErrUnknownHedgeMode) {
+		t.Fatalf("err = %v, want ErrUnknownHedgeMode", err)
+	}
+	e, err := New(Config{Threads: 1, HedgePolicy: HedgePolicy{Mode: HedgeFixed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if got := e.cfg.HedgePolicy.Budget; got != 5*time.Millisecond {
+		t.Fatalf("defaulted fixed budget = %v, want 5ms", got)
+	}
+	e2, err := New(Config{Threads: 1, HedgePolicy: HedgePolicy{Mode: HedgePercentile}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	p := e2.cfg.HedgePolicy
+	if p.Percentile != 0.99 || p.Multiplier != 3 || p.MinBudget != 500*time.Microsecond {
+		t.Fatalf("percentile defaults = %+v", p)
+	}
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"fmt"
 	"log/slog"
 	"time"
 
@@ -168,11 +169,61 @@ type Config struct {
 	// deployments should leave pooling on (the default).
 	DisablePooling bool
 
+	// HedgePolicy enables hedged re-dispatch of straggling batches: a
+	// dispatched batch that outlives its straggler budget is re-issued to
+	// another healthy device (or the host) and the two attempts race,
+	// exactly-once completion discarding the loser's results. The zero
+	// value disables hedging.
+	HedgePolicy HedgePolicy
+
 	// Logger receives structured records of operationally significant
 	// events: device quarantine entry/exit, device death, CPU fallbacks.
 	// Nil disables logging (the library default — counters and traces
 	// still record everything); tagmatch-server wires slog.Default().
 	Logger *slog.Logger
+}
+
+// HedgeMode selects how HedgePolicy derives a batch's straggler budget.
+type HedgeMode string
+
+const (
+	// HedgeOff disables hedged re-dispatch (the default).
+	HedgeOff HedgeMode = ""
+	// HedgeFixed hedges any batch still unsettled Budget after dispatch.
+	HedgeFixed HedgeMode = "fixed"
+	// HedgePercentile hedges a batch still unsettled after Multiplier
+	// times the dispatching device's tracked Percentile batch service
+	// time — an adaptive budget that follows the device's own tail, so
+	// a uniformly slow device is not hedged while a bimodal one is.
+	HedgePercentile HedgeMode = "percentile"
+)
+
+// HedgePolicy configures hedged re-dispatch of straggling batches
+// (Config.HedgePolicy). The tail-tolerance idea is the classic hedged
+// request: rather than waiting out a straggler, re-issue the work
+// elsewhere once the response is slower than the expected tail, and let
+// the two attempts race.
+type HedgePolicy struct {
+	// Mode selects the budget derivation; HedgeOff (the zero value)
+	// disables hedging. New rejects unknown modes.
+	Mode HedgeMode
+
+	// Budget is the fixed straggler budget of HedgeFixed mode.
+	// Defaults to 5ms.
+	Budget time.Duration
+
+	// Percentile is the per-device batch service-time quantile tracked
+	// for HedgePercentile mode. Defaults to 0.99.
+	Percentile float64
+
+	// Multiplier scales the tracked percentile into the straggler
+	// budget. Defaults to 3.
+	Multiplier float64
+
+	// MinBudget floors the adaptive budget, and serves as the budget
+	// until a device has accumulated enough batches to trust its
+	// tracked distribution. Defaults to 500µs.
+	MinBudget time.Duration
 }
 
 // DefaultConfig returns the paper-faithful defaults for a database of
@@ -201,6 +252,11 @@ func (c *Config) validate() error {
 	if c.BatchSize > maxBatchSize {
 		return ErrBatchSizeTooLarge
 	}
+	switch c.HedgePolicy.Mode {
+	case HedgeOff, HedgeFixed, HedgePercentile:
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownHedgeMode, c.HedgePolicy.Mode)
+	}
 	return nil
 }
 
@@ -228,6 +284,18 @@ func (c *Config) applyDefaults() {
 	}
 	if c.QuarantineBackoff <= 0 {
 		c.QuarantineBackoff = 250 * time.Millisecond
+	}
+	if c.HedgePolicy.Budget <= 0 {
+		c.HedgePolicy.Budget = 5 * time.Millisecond
+	}
+	if c.HedgePolicy.Percentile <= 0 || c.HedgePolicy.Percentile >= 1 {
+		c.HedgePolicy.Percentile = 0.99
+	}
+	if c.HedgePolicy.Multiplier <= 0 {
+		c.HedgePolicy.Multiplier = 3
+	}
+	if c.HedgePolicy.MinBudget <= 0 {
+		c.HedgePolicy.MinBudget = 500 * time.Microsecond
 	}
 }
 
@@ -280,6 +348,18 @@ type Stats struct {
 	DeviceRecoveries  int64 `json:"device_recoveries"`
 	QueriesShed       int64 `json:"queries_shed"`
 
+	// Tail-tolerance counters: queries completed early because their
+	// deadline passed before launch, batches cancelled outright because
+	// every member had expired, and straggler hedges by outcome
+	// (fired: launched; won: hedge result used; lost: primary won the
+	// race; cancelled: budget elapsed after the batch settled).
+	DeadlineExpired  int64 `json:"deadline_expired"`
+	BatchesCancelled int64 `json:"batches_cancelled"`
+	HedgesFired      int64 `json:"hedges_fired"`
+	HedgesWon        int64 `json:"hedges_won"`
+	HedgesLost       int64 `json:"hedges_lost"`
+	HedgesCancelled  int64 `json:"hedges_cancelled"`
+
 	// Memory accounting (Fig 9): host side and per-device.
 	HostBytes   int64   `json:"host_bytes"`
 	DeviceBytes []int64 `json:"device_bytes,omitempty"`
@@ -300,10 +380,16 @@ type Stats struct {
 // MatchResult carries the outcome of one query through the pipeline.
 type MatchResult struct {
 	// Keys holds the matched keys: a multiset for Match, deduplicated
-	// for MatchUnique.
+	// for MatchUnique. Nil when Err is set.
 	Keys []Key
-	// Latency is the end-to-end time from submission to merge.
+	// Latency is the end-to-end time from submission to merge (or to
+	// the early completion when Err is set).
 	Latency time.Duration
+	// Err is non-nil when the query terminated without matching: it
+	// matches ErrDeadlineExceeded (joined with the causing context
+	// error, if any) when the query's deadline passed — or its context
+	// was cancelled — before its batches launched.
+	Err error
 }
 
 // partition is one entry of the partition table: the defining mask and the

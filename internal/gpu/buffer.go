@@ -21,7 +21,10 @@ type Buffer[T any] struct {
 // Alloc allocates a device buffer of n elements of type T, charging the
 // device memory budget.
 func Alloc[T any](d *Device, n int) (*Buffer[T], error) {
-	if err := d.opCheck(opAlloc); err != nil {
+	// Allocations ignore the straggler penalty: stragglers model the
+	// data path (bus, SMs), and the index build that allocates is not
+	// on the per-query tail.
+	if _, err := d.opCheck(opAlloc, 0); err != nil {
 		return nil, err
 	}
 	var probe T
@@ -81,7 +84,9 @@ func (b *Buffer[T]) CopyToDevice(dstOff int, src []T) error {
 // for op-record telemetry (stream copies pass their stream id and
 // enqueue timestamp; direct host copies pass directSite).
 func (b *Buffer[T]) copyToDevice(dstOff int, src []T, site opSite) error {
-	if err := b.dev.opCheck(opCopy); err != nil {
+	n := int(b.elemBytes()) * len(src)
+	slow, err := b.dev.opCheck(opCopy, b.dev.cfg.Cost.copyCost(n))
+	if err != nil {
 		return err
 	}
 	if b.freed {
@@ -91,9 +96,9 @@ func (b *Buffer[T]) copyToDevice(dstOff int, src []T, site opSite) error {
 		return fmt.Errorf("gpu: H2D copy out of range: off %d + %d > len %d",
 			dstOff, len(src), len(b.data))
 	}
-	n := int(b.elemBytes()) * len(src)
 	start := b.dev.opBegin(OpH2D)
 	spinWait(b.dev.cfg.Cost.copyCost(n))
+	b.dev.paySlow(slow)
 	copy(b.data[dstOff:], src)
 	b.dev.opDone(OpH2D, site, int64(n), 0, start)
 	b.dev.bytesHtoD.Add(int64(n))
@@ -110,7 +115,9 @@ func (b *Buffer[T]) CopyFromDevice(dst []T, srcOff int) error {
 // copyFromDevice is CopyFromDevice with the issuing site threaded
 // through for op-record telemetry.
 func (b *Buffer[T]) copyFromDevice(dst []T, srcOff int, site opSite) error {
-	if err := b.dev.opCheck(opCopy); err != nil {
+	n := int(b.elemBytes()) * len(dst)
+	slow, err := b.dev.opCheck(opCopy, b.dev.cfg.Cost.copyCost(n))
+	if err != nil {
 		return err
 	}
 	if b.freed {
@@ -120,9 +127,9 @@ func (b *Buffer[T]) copyFromDevice(dst []T, srcOff int, site opSite) error {
 		return fmt.Errorf("gpu: D2H copy out of range: off %d + %d > len %d",
 			srcOff, len(dst), len(b.data))
 	}
-	n := int(b.elemBytes()) * len(dst)
 	start := b.dev.opBegin(OpD2H)
 	spinWait(b.dev.cfg.Cost.copyCost(n))
+	b.dev.paySlow(slow)
 	copy(dst, b.data[srcOff:])
 	b.dev.opDone(OpD2H, site, int64(n), 0, start)
 	b.dev.bytesDtoH.Add(int64(n))

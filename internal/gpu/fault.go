@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjectedFault is the error class of failures produced by a
@@ -34,9 +35,11 @@ func (k FaultKind) String() string {
 // device — the chaos-testing hook of the fault-tolerance layer. Every
 // faultable operation (host<->device copy, kernel launch, allocation)
 // draws a sequence number from a per-device counter; whether an
-// operation fails depends only on (Seed, sequence number, kind), so a
-// plan replays identically for a fixed operation schedule and the
-// per-kind failure RATE is exact under any schedule.
+// operation fails or straggles depends only on (Seed, sequence number,
+// kind), so a plan replays identically for a fixed operation schedule
+// and the per-kind failure and slowdown RATES are exact under any
+// schedule. Failure and slowdown decisions use disjoint hash spaces, so
+// enabling one never perturbs the other at the same seed.
 //
 // A FaultPlan is immutable once installed; swap plans with
 // Device.SetFaultPlan (e.g. to "repair" a device mid-test and exercise
@@ -61,6 +64,31 @@ type FaultPlan struct {
 	// the one that triggered the death — fails with ErrDeviceClosed,
 	// modeling a mid-flight device loss (fallen off the bus, Xid error).
 	DieAtOp int64
+
+	// SlowProb is the per-operation probability in [0,1] of an injected
+	// slowdown (straggler): the operation succeeds but stalls beyond its
+	// modeled cost. Stragglers model the slow-not-broken device that
+	// dominates real tail latency — ECC retirement storms, thermal
+	// throttling, a contended PCIe switch.
+	SlowProb float64
+
+	// SlowFactor scales a straggling operation's modeled base cost: a
+	// factor of 20 makes the op take 20x its CostModel cost (the extra
+	// (SlowFactor-1)x is paid as stall). Values <= 1 add nothing; under
+	// ZeroCost the base is zero, so use SlowDelay to give stragglers
+	// magnitude there.
+	SlowFactor float64
+
+	// SlowDelay is an absolute extra stall added to every straggling
+	// operation on top of the SlowFactor term. It is the knob chaos
+	// tests use to set the straggler magnitude independent of the cost
+	// model.
+	SlowDelay time.Duration
+
+	// SlowOps lists exact operation sequence numbers (1-based, counted
+	// across all kinds) that straggle regardless of SlowProb — scripted
+	// stragglers for precisely staged scenarios.
+	SlowOps []int64
 }
 
 // SetFaultPlan installs (or, with nil, removes) the device's fault plan.
@@ -87,12 +115,19 @@ func (d *Device) Dead() bool { return d.dead.Load() }
 // plan so far (device deaths not included).
 func (d *Device) InjectedFaults() int64 { return d.injectedFaults.Load() }
 
+// InjectedSlowdowns returns the number of operations the fault plan has
+// stalled beyond their modeled cost so far.
+func (d *Device) InjectedSlowdowns() int64 { return d.injectedSlowdowns.Load() }
+
 // opCheck runs the fault-injection and device-death gate for one
-// faultable operation. It returns ErrDeviceClosed on a dead device, an
-// ErrInjectedFault-wrapped error when the plan fails this operation, and
-// nil otherwise.
-func (d *Device) opCheck(kind FaultKind) error {
+// faultable operation whose modeled base cost is base. It returns
+// ErrDeviceClosed on a dead device, an ErrInjectedFault-wrapped error
+// when the plan fails this operation, and otherwise the straggler
+// penalty (zero when the op is not slowed) the caller must pay via
+// paySlow.
+func (d *Device) opCheck(kind FaultKind, base time.Duration) (time.Duration, error) {
 	fp := d.faults.Load()
+	var slow time.Duration
 	if fp != nil {
 		n := d.faultOps.Add(1)
 		if fp.DieAtOp > 0 && n >= fp.DieAtOp {
@@ -101,14 +136,59 @@ func (d *Device) opCheck(kind FaultKind) error {
 		if !d.dead.Load() {
 			if err := fp.check(kind, n, d.name); err != nil {
 				d.injectedFaults.Add(1)
-				return err
+				return 0, err
 			}
+			slow = fp.slowPenalty(kind, n, base)
 		}
 	}
 	if d.dead.Load() {
-		return fmt.Errorf("%w: %s is dead", ErrDeviceClosed, d.name)
+		return 0, fmt.Errorf("%w: %s is dead", ErrDeviceClosed, d.name)
 	}
-	return nil
+	return slow, nil
+}
+
+// slowKindOffset shifts the kind term of the slowdown draw into a hash
+// space disjoint from the failure draw, so an op's straggle decision is
+// independent of its failure decision at the same (Seed, n).
+const slowKindOffset = 8
+
+// slowPenalty decides whether operation n of the given kind straggles
+// under the plan and returns the extra stall it pays beyond base.
+func (fp *FaultPlan) slowPenalty(kind FaultKind, n int64, base time.Duration) time.Duration {
+	slowed := false
+	for _, s := range fp.SlowOps {
+		if s == n {
+			slowed = true
+			break
+		}
+	}
+	if !slowed && fp.SlowProb > 0 {
+		slowed = unitUniform(fp.Seed, n, int64(kind)+slowKindOffset) < fp.SlowProb
+	}
+	if !slowed {
+		return 0
+	}
+	var p time.Duration
+	if fp.SlowFactor > 1 {
+		p = time.Duration(float64(base) * (fp.SlowFactor - 1))
+	}
+	return p + fp.SlowDelay
+}
+
+// paySlow stalls the calling goroutine for an injected straggler
+// penalty. Millisecond-scale penalties sleep instead of spinning: a
+// straggling real device leaves the host CPU idle, and chaos tests
+// inject stalls far above busy-wait scale.
+func (d *Device) paySlow(p time.Duration) {
+	if p <= 0 {
+		return
+	}
+	d.injectedSlowdowns.Add(1)
+	if p >= time.Millisecond {
+		time.Sleep(p)
+		return
+	}
+	spinWait(p)
 }
 
 // check decides whether operation n of the given kind fails under the
@@ -150,8 +230,9 @@ func unitUniform(seed, n, kind int64) float64 {
 
 // faultState is the per-device fault-injection state embedded in Device.
 type faultState struct {
-	faults         atomic.Pointer[FaultPlan]
-	faultOps       atomic.Int64 // sequence numbers for faultable operations
-	injectedFaults atomic.Int64
-	dead           atomic.Bool
+	faults            atomic.Pointer[FaultPlan]
+	faultOps          atomic.Int64 // sequence numbers for faultable operations
+	injectedFaults    atomic.Int64
+	injectedSlowdowns atomic.Int64
+	dead              atomic.Bool
 }

@@ -3,6 +3,7 @@ package gpu
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 // TestFaultPlanProbabilisticRate checks that a seeded probability plan
@@ -175,5 +176,125 @@ func TestKillMarksDeviceDead(t *testing.T) {
 	}
 	if st := d.Stats(); st.InjectedFaults != 0 {
 		t.Fatalf("Kill counted as injected fault: %+v", st)
+	}
+}
+
+// TestStragglerScriptedOps checks that SlowOps stalls exactly the listed
+// operation sequence numbers: the op succeeds, the slowdown counter
+// moves, and the measured wall time carries at least the SlowDelay.
+func TestStragglerScriptedOps(t *testing.T) {
+	d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4) // before the plan: draws no op number
+	defer buf.Free()
+	const delay = 3 * time.Millisecond
+	d.SetFaultPlan(&FaultPlan{Seed: 1, SlowOps: []int64{2}, SlowDelay: delay})
+	src := make([]uint32, 4)
+
+	if err := buf.CopyToDevice(0, src); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if got := d.InjectedSlowdowns(); got != 0 {
+		t.Fatalf("InjectedSlowdowns = %d before the scripted op", got)
+	}
+	start := time.Now()
+	if err := buf.CopyToDevice(0, src); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("scripted straggler op took %v, want >= %v", elapsed, delay)
+	}
+	if got := d.InjectedSlowdowns(); got != 1 {
+		t.Fatalf("InjectedSlowdowns = %d, want 1", got)
+	}
+}
+
+// TestStragglerProbabilisticRate checks that SlowProb stalls roughly the
+// configured fraction of operations, that the slowed set replays
+// identically for the same seed, and that slowdown draws are independent
+// of failure draws (no fault is ever injected by a slow-only plan).
+func TestStragglerProbabilisticRate(t *testing.T) {
+	const n = 2000
+	const prob = 0.05
+
+	run := func() int64 {
+		d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+		defer d.Close()
+		// A microsecond stall keeps the counter moving (zero-penalty draws
+		// are not stalls) without paying real sleeps across 2000 ops.
+		d.SetFaultPlan(&FaultPlan{Seed: 42, SlowProb: prob, SlowDelay: time.Microsecond})
+		buf := MustAlloc[uint32](d, 8)
+		defer buf.Free()
+		src := make([]uint32, 8)
+		for i := 0; i < n; i++ {
+			if err := buf.CopyToDevice(0, src); err != nil {
+				t.Fatalf("copy %d: unexpected error: %v", i, err)
+			}
+		}
+		if got := d.InjectedFaults(); got != 0 {
+			t.Fatalf("slow-only plan injected %d faults", got)
+		}
+		return d.InjectedSlowdowns()
+	}
+
+	first := run()
+	if first < n*5/200 || first > n*5/50 {
+		t.Fatalf("slowdown count %d far from expected %d", first, n/20)
+	}
+	if second := run(); second != first {
+		t.Fatalf("replay diverged: %d vs %d slowdowns", first, second)
+	}
+}
+
+// TestStragglerSlowFactorScalesBase checks that SlowFactor pays a stall
+// proportional to the operation's modeled base cost under a cost model.
+func TestStragglerSlowFactorScalesBase(t *testing.T) {
+	base := 500 * time.Microsecond
+	d := New(Config{
+		Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2,
+		Cost: CostModel{CopyOverhead: base},
+	})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4)
+	defer buf.Free()
+	src := make([]uint32, 4)
+
+	// Unslowed baseline: roughly the modeled copy latency.
+	if err := buf.CopyToDevice(0, src); err != nil {
+		t.Fatal(err)
+	}
+
+	d.SetFaultPlan(&FaultPlan{Seed: 9, SlowOps: []int64{1}, SlowFactor: 8})
+	start := time.Now()
+	if err := buf.CopyToDevice(0, src); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// The slowed op pays base + (factor-1)*base = 8*base = 4ms total;
+	// require at least half of the pure penalty to absorb timer noise.
+	if want := time.Duration(float64(base) * 7 / 2); elapsed < want {
+		t.Fatalf("SlowFactor straggler took %v, want >= %v", elapsed, want)
+	}
+	if got := d.InjectedSlowdowns(); got != 1 {
+		t.Fatalf("InjectedSlowdowns = %d, want 1", got)
+	}
+}
+
+// TestStragglerStatsSurface checks Device.Stats carries the slowdown
+// counter alongside the fault counter.
+func TestStragglerStatsSurface(t *testing.T) {
+	d := New(Config{Name: "chaos", Workers: 2, GlobalMemBytes: 1 << 20, MaxStreams: 2})
+	defer d.Close()
+	buf := MustAlloc[uint32](d, 4)
+	defer buf.Free()
+	d.SetFaultPlan(&FaultPlan{Seed: 1, SlowOps: []int64{1, 2}, SlowDelay: time.Microsecond})
+	src := make([]uint32, 4)
+	for i := 0; i < 3; i++ {
+		if err := buf.CopyToDevice(0, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := d.Stats(); st.InjectedSlowdowns != 2 {
+		t.Fatalf("Stats().InjectedSlowdowns = %d, want 2", st.InjectedSlowdowns)
 	}
 }

@@ -107,17 +107,18 @@ type Config struct {
 
 // Stats is a snapshot of device activity counters.
 type Stats struct {
-	KernelLaunches int64
-	NestedLaunches int64
-	BlocksExecuted int64
-	AtomicOps      int64
-	BytesHtoD      int64
-	BytesDtoH      int64
-	CopiesHtoD     int64
-	CopiesDtoH     int64
-	MemInUse       int64
-	MemHighWater   int64
-	InjectedFaults int64
+	KernelLaunches    int64
+	NestedLaunches    int64
+	BlocksExecuted    int64
+	AtomicOps         int64
+	BytesHtoD         int64
+	BytesDtoH         int64
+	CopiesHtoD        int64
+	CopiesDtoH        int64
+	MemInUse          int64
+	MemHighWater      int64
+	InjectedFaults    int64
+	InjectedSlowdowns int64
 
 	// SMBusyNs is the cumulative wall time SM workers spent executing
 	// thread blocks (see Device.Utilization for the derived fraction).
@@ -331,7 +332,8 @@ func (b *BlockCtx) LaunchNested(grid Grid, kernel KernelFunc) {
 // engine — and injected fault errors under an active FaultPlan. site
 // identifies the issuing stream for the op-record telemetry.
 func (d *Device) launch(grid Grid, kernel KernelFunc, site opSite) error {
-	if err := d.opCheck(opLaunch); err != nil {
+	slow, err := d.opCheck(opLaunch, d.cfg.Cost.LaunchOverhead)
+	if err != nil {
 		return err
 	}
 	if d.closed.Load() {
@@ -340,6 +342,7 @@ func (d *Device) launch(grid Grid, kernel KernelFunc, site opSite) error {
 	d.kernelLaunches.Add(1)
 	start := d.opBegin(OpKernel)
 	spinWait(d.cfg.Cost.LaunchOverhead)
+	d.paySlow(slow)
 	if grid.Blocks <= 0 || grid.BlockDim <= 0 {
 		d.opDone(OpKernel, site, 0, 0, start)
 		return nil
@@ -358,21 +361,22 @@ func (d *Device) launch(grid Grid, kernel KernelFunc, site opSite) error {
 func (d *Device) Stats() Stats {
 	ov := d.OverlapStats()
 	return Stats{
-		KernelLaunches: d.kernelLaunches.Load(),
-		NestedLaunches: d.nestedLaunches.Load(),
-		BlocksExecuted: d.blocksExecuted.Load(),
-		AtomicOps:      d.atomicOps.Load(),
-		BytesHtoD:      d.bytesHtoD.Load(),
-		BytesDtoH:      d.bytesDtoH.Load(),
-		CopiesHtoD:     d.copiesHtoD.Load(),
-		CopiesDtoH:     d.copiesDtoH.Load(),
-		MemInUse:       d.memInUse.Load(),
-		MemHighWater:   d.memHighWater.Load(),
-		InjectedFaults: d.injectedFaults.Load(),
-		SMBusyNs:       d.smBusyNs.Load(),
-		KernelActiveNs: ov.KernelNs,
-		CopyActiveNs:   ov.CopyNs,
-		OverlapNs:      ov.OverlapNs,
+		KernelLaunches:    d.kernelLaunches.Load(),
+		NestedLaunches:    d.nestedLaunches.Load(),
+		BlocksExecuted:    d.blocksExecuted.Load(),
+		AtomicOps:         d.atomicOps.Load(),
+		BytesHtoD:         d.bytesHtoD.Load(),
+		BytesDtoH:         d.bytesDtoH.Load(),
+		CopiesHtoD:        d.copiesHtoD.Load(),
+		CopiesDtoH:        d.copiesDtoH.Load(),
+		MemInUse:          d.memInUse.Load(),
+		MemHighWater:      d.memHighWater.Load(),
+		InjectedFaults:    d.injectedFaults.Load(),
+		InjectedSlowdowns: d.injectedSlowdowns.Load(),
+		SMBusyNs:          d.smBusyNs.Load(),
+		KernelActiveNs:    ov.KernelNs,
+		CopyActiveNs:      ov.CopyNs,
+		OverlapNs:         ov.OverlapNs,
 	}
 }
 

@@ -8,8 +8,8 @@
 //	POST /add          {"tags": ["a","b"], "key": 42}
 //	POST /remove       {"tags": ["a","b"], "key": 42}
 //	POST /consolidate  {}
-//	POST /match        {"tags": ["a","b","c"]}
-//	POST /match-unique {"tags": ["a","b","c"]}
+//	POST /match        {"tags": ["a","b","c"], "timeout_ms": 50}
+//	POST /match-unique {"tags": ["a","b","c"], "timeout_ms": 50}
 //	GET  /stats        cumulative engine counters (JSON, snake_case keys)
 //	GET  /debug/stats  stats + stage histograms, per-partition counters,
 //	                   gauges, recent traces, latency attribution with
@@ -22,7 +22,10 @@
 //
 // When the engine's MaxInFlight admission gate sheds a query, /match and
 // /match-unique answer 503 Service Unavailable with a Retry-After
-// header; clients should back off and retry.
+// header; clients should back off and retry. A query that misses its
+// timeout_ms budget — or whose client disconnects — answers 504 Gateway
+// Timeout instead, counted separately (tagmatch_http_timeouts_total) so
+// dashboards distinguish tail latency from load shedding.
 //
 // The /metrics endpoint exports everything a dashboard needs: engine
 // counters as tagmatch_*_total, database shape and memory as gauges,
@@ -52,9 +55,14 @@ type SetRequest struct {
 	Key  tagmatch.Key `json:"key"`
 }
 
-// MatchRequest carries a query.
+// MatchRequest carries a query. TimeoutMs, when positive, bounds the
+// query's end-to-end time inside the engine: past it the request is
+// answered 504 and the query is expired at the next stage boundary
+// instead of occupying a device. The client disconnecting has the same
+// effect (the request context propagates into the engine either way).
 type MatchRequest struct {
-	Tags []string `json:"tags"`
+	Tags      []string `json:"tags"`
+	TimeoutMs int      `json:"timeout_ms,omitempty"`
 }
 
 // MatchResponse carries a query result.
@@ -228,12 +236,21 @@ func matchHandler(eng *tagmatch.Engine, unique bool) http.HandlerFunc {
 			return
 		}
 		start := time.Now()
+		// The request context propagates into the engine: a client
+		// deadline (TimeoutMs) or disconnect expires the query at the
+		// next stage boundary instead of letting it occupy a device.
+		ctx := r.Context()
+		if req.TimeoutMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+			defer cancel()
+		}
 		var keys []tagmatch.Key
 		var err error
 		if unique {
-			keys, err = eng.MatchUnique(req.Tags)
+			keys, err = eng.MatchUniqueCtx(ctx, req.Tags)
 		} else {
-			keys, err = eng.Match(req.Tags)
+			keys, err = eng.MatchCtx(ctx, req.Tags)
 		}
 		if err != nil {
 			if errors.Is(err, tagmatch.ErrOverloaded) {
@@ -241,6 +258,15 @@ func matchHandler(eng *tagmatch.Engine, unique bool) http.HandlerFunc {
 				// off and retry rather than reporting a server fault.
 				w.Header().Set("Retry-After", "1")
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			if errors.Is(err, tagmatch.ErrDeadlineExceeded) ||
+				errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				// Deadline or cancellation, not a server fault: a distinct
+				// status and counter so dashboards separate tail latency
+				// from breakage.
+				eng.Obs().Faults.HTTPTimeouts.Add(1)
+				http.Error(w, err.Error(), http.StatusGatewayTimeout)
 				return
 			}
 			http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,87 @@
+package httpserver
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tagmatch"
+)
+
+// TestMatchTimeoutReturns504 checks the HTTP mapping of end-to-end
+// deadlines: a /match whose timeout_ms budget lapses while the pipeline
+// is stalled answers 504 Gateway Timeout, the dedicated timeout counter
+// moves (distinct from the 503 shed counter), and the server answers
+// normally once the stall clears.
+func TestMatchTimeoutReturns504(t *testing.T) {
+	eng, err := tagmatch.New(tagmatch.Config{Threads: 2, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AddSet([]string{"a"}, 1)
+	if err := eng.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+
+	// Park one query inside its done callback, stalling the reduce
+	// worker so the timed query cannot complete inside its budget.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	unstall := func() { once.Do(func() { close(release) }) }
+	defer unstall()
+	if err := eng.Submit([]string{"a"}, func(tagmatch.MatchResult) {
+		close(entered)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	resp, err := http.Post(srv.URL+"/match", "application/json",
+		bytes.NewReader([]byte(`{"tags":["a"],"timeout_ms":30}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled /match with timeout_ms → %d (%s), want 504",
+			resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if got := eng.Obs().Faults.HTTPTimeouts.Load(); got != 1 {
+		t.Fatalf("HTTPTimeouts = %d, want 1", got)
+	}
+	if got := eng.Stats().QueriesShed; got != 0 {
+		t.Fatalf("timeout counted as shed: QueriesShed = %d", got)
+	}
+
+	// The timeout is exported on /metrics for dashboards.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "tagmatch_http_timeouts_total 1") {
+		t.Fatal("tagmatch_http_timeouts_total not exported on /metrics")
+	}
+
+	// Clear the stall: the server recovers and answers within budget.
+	unstall()
+	eng.Drain()
+	var match MatchResponse
+	post(t, srv.URL+"/match", MatchRequest{Tags: []string{"a"}, TimeoutMs: 5000}, &match)
+	if match.Count != 1 {
+		t.Fatalf("post-recovery match = %+v", match)
+	}
+}

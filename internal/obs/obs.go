@@ -73,6 +73,13 @@ type Pipeline struct {
 	InputWait Histogram
 	BatchWait Histogram
 
+	// DeadlineSlack records, for deadline-carrying queries at batch
+	// dispatch, the time remaining until their deadline (clamped at
+	// zero): the headroom the admission and batching stages left the
+	// device path. A distribution piling up at zero means batching is
+	// eating the budget before any device work starts.
+	DeadlineSlack Histogram
+
 	// GPUH2D/GPUKernel/GPUD2H record device-operation latencies split
 	// into queue wait (stream enqueue→start) and service (start→done).
 	GPUH2D    OpHist
@@ -296,6 +303,9 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 		Labels{{"queue", "input"}}, p.InputWait.Snapshot(), 1e-9)
 	w.Histogram("tagmatch_queue_wait_seconds", "",
 		Labels{{"queue", "batch"}}, p.BatchWait.Snapshot(), 1e-9)
+	w.Histogram("tagmatch_deadline_slack_seconds",
+		"Remaining deadline headroom of deadline-carrying queries at batch dispatch.",
+		nil, p.DeadlineSlack.Snapshot(), 1e-9)
 	for _, op := range []struct {
 		kind string
 		h    *OpHist

@@ -55,6 +55,29 @@ var ErrOverloaded = core.ErrOverloaded
 // memory exhaustion). The engine stays fully usable.
 var ErrDeviceDegraded = core.ErrDeviceDegraded
 
+// ErrDeadlineExceeded is carried by MatchResult.Err (and returned by the
+// MatchCtx family) when a query's context ended before its batch was
+// dispatched. Deadlines are observed at stage boundaries: a query whose
+// batch is already running on a device finishes normally.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+// HedgePolicy configures hedged batch re-dispatch: a dispatched batch
+// exceeding its straggler budget is speculatively re-run on another
+// healthy device (or the host), the first completion winning. The zero
+// value disables hedging. See the HedgeFixed and HedgePercentile modes.
+type HedgePolicy = core.HedgePolicy
+
+// HedgeMode selects how the straggler budget is derived.
+type HedgeMode = core.HedgeMode
+
+// Hedge modes: off (zero value), a fixed budget, or an adaptive budget
+// tracking a percentile of the device's own batch service time.
+const (
+	HedgeOff        = core.HedgeOff
+	HedgeFixed      = core.HedgeFixed
+	HedgePercentile = core.HedgePercentile
+)
+
 // Key is the application value associated with a stored tag set — a user
 // id in the paper's Twitter-like workload.
 type Key = core.Key
@@ -111,6 +134,9 @@ type Config struct {
 	// its first recovery probe; failed probes double it, up to 64x
 	// (default 250ms).
 	QuarantineBackoff time.Duration
+	// Hedge configures hedged re-dispatch of straggling batches. The
+	// zero value disables hedging.
+	Hedge HedgePolicy
 	// ExactVerify re-checks every match against the original tag sets
 	// during key lookup, eliminating Bloom-filter false positives at the
 	// cost of storing the tags and one string-set containment check per
@@ -178,6 +204,7 @@ func New(cfg Config) (*Engine, error) {
 		MaxInFlight:          cfg.MaxInFlight,
 		FailureThreshold:     cfg.FailureThreshold,
 		QuarantineBackoff:    cfg.QuarantineBackoff,
+		HedgePolicy:          cfg.Hedge,
 		ExactVerify:          cfg.ExactVerify,
 		TraceEvery:           cfg.TraceEvery,
 		DisableObservability: cfg.DisableObservability,
@@ -216,6 +243,19 @@ func (e *Engine) Match(tags []string) ([]Key, error) { return e.core.Match(tags)
 // MatchUnique returns the deduplicated keys of all matching sets
 // (blocking).
 func (e *Engine) MatchUnique(tags []string) ([]Key, error) { return e.core.MatchUnique(tags) }
+
+// MatchCtx is Match with an end-to-end deadline: the context's deadline
+// and cancellation propagate into the pipeline, where expired queries
+// are completed with an error matching ErrDeadlineExceeded before any
+// kernel launch, and the call returns promptly when the context ends.
+func (e *Engine) MatchCtx(ctx context.Context, tags []string) ([]Key, error) {
+	return e.core.MatchCtx(ctx, tags)
+}
+
+// MatchUniqueCtx is MatchUnique with MatchCtx's deadline propagation.
+func (e *Engine) MatchUniqueCtx(ctx context.Context, tags []string) ([]Key, error) {
+	return e.core.MatchUniqueCtx(ctx, tags)
+}
 
 // Submit enqueues a streaming match; done is called exactly once.
 func (e *Engine) Submit(tags []string, done func(MatchResult)) error {

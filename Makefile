@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke bench-tail bench-tail-smoke obs-smoke obsdiff-gate clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke bench-tail bench-tail-smoke bench-pipeline bench-pipeline-smoke obs-smoke obsdiff-gate clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
 ## concurrency-heavy packages, the chaos (fault-injection) suite, a
 ## short allocation-tracking benchmark pass over the hot path,
-## reduced-scale smoke runs of the routing, match-kernel, and
-## tail-latency experiments, the observability export smoke test, and
-## the perf budgets on checked-in baselines.
-check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke bench-tail-smoke obs-smoke obsdiff-gate
+## reduced-scale smoke runs of the routing, match-kernel, tail-latency,
+## and dispatch-pipeline experiments, the observability export smoke
+## test, and the perf budgets on checked-in baselines.
+check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke bench-tail-smoke bench-pipeline-smoke obs-smoke obsdiff-gate
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ race:
 ## propagation, hedged re-dispatch, and snapshot-restore parity must all
 ## hold with -race on.
 chaos:
-	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded|TestStraggler|TestDeadline|TestHedge|TestMatchCtx|TestSnapshotRestore|TestMatchTimeout' \
+	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded|TestStraggler|TestDeadline|TestHedge|TestMatchCtx|TestSnapshotRestore|TestMatchTimeout|TestPipelined|TestQueryWindow|TestStreamDepth' \
 		./internal/gpu/ ./internal/core/ ./internal/httpserver/
 
 ## bench-smoke: quick -benchmem pass over the hot-path benchmarks so a
@@ -96,6 +96,19 @@ bench-tail:
 bench-tail-smoke:
 	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files tail
 
+## bench-pipeline: measure the stream-depth x query-window dispatch
+## matrix (H2D bytes/query, copy/compute overlap, throughput, p99) and
+## write BENCH_pipeline.json (window must cut H2D bytes/query >= 2x,
+## gated by obsdiff-gate).
+bench-pipeline:
+	$(GO) run ./cmd/tagmatch-bench pipeline
+
+## bench-pipeline-smoke: the same experiment at reduced scale as a CI
+## gate; -no-bench-files keeps the small-scale numbers from overwriting
+## the committed BENCH_pipeline.json.
+bench-pipeline-smoke:
+	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files pipeline
+
 ## obs-smoke: boot a server, push traffic, and assert the export
 ## surfaces are well-formed — /metrics parses as Prometheus exposition
 ## (with the GPU overlap/utilization/op-latency families), /debug/timeline
@@ -121,7 +134,10 @@ obsdiff-gate:
 	$(GO) run ./cmd/tagmatch-obsdiff \
 		-assert 'hedged_p99_improvement>=2' -assert 'hedge_exactness>=1' \
 		-assert 'results_match>=1' BENCH_tail.json
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'h2d_reduction>=2' -assert 'pipeline_results_match>=1' \
+		-assert 'throughput_ratio>=0.9' BENCH_pipeline.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json BENCH_tail.json
+	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json BENCH_tail.json BENCH_pipeline.json
 	rm -rf results

@@ -16,9 +16,10 @@
 // BENCH_chaos.json), preprocess (bit-sliced vs. scalar partition
 // routing, also written to BENCH_preprocess.json), kernel
 // (bit-sliced vs. scalar subset-match kernel, also written to
-// BENCH_kernel.json), and tail (query-latency percentiles with and
+// BENCH_kernel.json), tail (query-latency percentiles with and
 // without hedged re-dispatch under injected stragglers, also written
-// to BENCH_tail.json).
+// to BENCH_tail.json), and pipeline (stream depth x query window
+// dispatch matrix, also written to BENCH_pipeline.json).
 //
 // Text-format output is also teed to results/results_scale<scale>.txt
 // (gitignored) so run transcripts accumulate outside the repo root.
@@ -30,6 +31,10 @@
 //	-threads n       CPU threads per subject system (default GOMAXPROCS)
 //	-gpus n          simulated GPUs for TagMatch (default 2)
 //	-queries n       queries per throughput measurement (default 20000)
+//	-stream-depth n  pipelined stream depth for the pipeline experiment
+//	                 (0 = engine default of 2)
+//	-query-window n  per-device query window ring size (0 = engine
+//	                 default of 16x the batch size)
 //	-format f        output format: text, json, csv, benchstat
 //	-no-bench-files  skip writing BENCH_*.json artifacts (smoke runs at
 //	                 reduced scale must not overwrite committed numbers)
@@ -59,6 +64,8 @@ func main() {
 	flag.IntVar(&p.Threads, "threads", runtime.GOMAXPROCS(0), "CPU threads per subject system")
 	flag.IntVar(&p.GPUs, "gpus", 2, "simulated GPUs")
 	flag.IntVar(&p.Queries, "queries", 20000, "queries per measurement")
+	flag.IntVar(&p.StreamDepth, "stream-depth", 0, "pipelined stream depth for the pipeline experiment (0 = engine default)")
+	flag.IntVar(&p.QueryWindow, "query-window", 0, "per-device query window ring size (0 = engine default)")
 	format := flag.String("format", "text", "output format: text, json, csv, benchstat")
 	flag.BoolVar(&noBenchFiles, "no-bench-files", false, "skip writing BENCH_*.json artifacts")
 	resultsDir := flag.String("results-dir", "results", "directory for run transcripts (empty disables)")
@@ -126,7 +133,7 @@ func allNames() []string {
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
 		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
-		"chaos", "preprocess", "kernel", "tail",
+		"chaos", "preprocess", "kernel", "tail", "pipeline",
 	}
 }
 
@@ -204,6 +211,14 @@ func runOne(out io.Writer, name string, p experiments.Params, format string) {
 		// better) and the exactly-once property are tracked across
 		// commits.
 		writeBenchFile("BENCH_tail.json", r)
+	case "pipeline":
+		t, r := experiments.Pipeline(p)
+		tables = append(tables, t)
+		// The depth x window matrix lands in BENCH_pipeline.json so the
+		// query-window copy-tax win (acceptance bar: >= 2x fewer H2D
+		// bytes per query) and the four-cell exactness check are
+		// tracked across commits.
+		writeBenchFile("BENCH_pipeline.json", r)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
 		os.Exit(2)

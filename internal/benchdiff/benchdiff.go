@@ -45,7 +45,7 @@ func (d Direction) String() string {
 // higherTokens and lowerTokens classify a metric by the tokens of its
 // final path segment. Higher wins ties (none currently collide).
 var (
-	higherTokens = []string{"qps", "throughput", "speedup", "ops_per_sec", "results_match", "hit_rate"}
+	higherTokens = []string{"qps", "throughput", "speedup", "ops_per_sec", "results_match", "hit_rate", "reduction", "overlap"}
 	lowerTokens  = []string{
 		"ns", "us", "ms", "seconds", "latency", "p50", "p90", "p99", "max",
 		"pct", "overhead", "slowdown", "allocs", "bytes", "errors", "overflows",

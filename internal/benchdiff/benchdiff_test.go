@@ -17,6 +17,11 @@ func TestClassify(t *testing.T) {
 		"p99_us":                            LowerBetter,
 		"allocs_per_query":                  LowerBetter,
 		"bytes_per_query":                   LowerBetter,
+		"h2d_bytes_per_query":               LowerBetter,
+		"h2d_reduction":                     HigherBetter,
+		"overlap_fraction":                  HigherBetter,
+		"pipeline_results_match":            HigherBetter,
+		"cells[config=depth2_window_on].qps": HigherBetter,
 		"queries":                           Neutral,
 		"gpus":                              Neutral,
 		"device_quarantines":                Neutral,

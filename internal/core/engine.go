@@ -147,9 +147,15 @@ type index struct {
 	devices      []*gpu.Device
 	devBufs      []*gpu.Buffer[bitvec.Vector]
 	devGroupBufs []*gpu.Buffer[bitvec.SlicedGroup] // transposed index per device (nil per entry when sliced kernel disabled)
-	streams      chan *streamCtx                   // replicated mode: shared pool
-	devStreams   []chan *streamCtx                 // partitioned mode: per-device pools
+	streams      chan *streamSlot                  // replicated mode: shared slot pool
+	devStreams   []chan *streamSlot                // partitioned mode: per-device slot pools
 	allStreams   []*streamCtx
+
+	// windows holds each device's query-signature ring (nil when
+	// Config.DisableQueryWindow turns the window off). The ring lives in
+	// the index, so a Consolidate swap retires it wholesale with the
+	// device tables — no cross-index invalidation protocol is needed.
+	windows []*queryWindow
 
 	// dispatching fences release() against attempt chains that may still
 	// enqueue stream operations. Before hedging every chain completed
@@ -284,7 +290,7 @@ func (e *Engine) registerGauges() {
 			return float64(n)
 		})
 	e.obs.RegisterGauge("tagmatch_streams_idle",
-		"GPU streams currently idle in the acquisition pools.",
+		"GPU stream dispatch slots currently idle in the acquisition pools.",
 		nil, func() float64 {
 			idx := e.idx.Load()
 			n := len(idx.streams)
@@ -292,6 +298,20 @@ func (e *Engine) registerGauges() {
 				n += len(ch)
 			}
 			return float64(n)
+		})
+	e.obs.RegisterGauge("tagmatch_pipeline_overlap_fraction",
+		"Fraction of cumulative kernel time overlapped with copies, aggregated across devices.",
+		nil, func() float64 {
+			var kernelNs, overlapNs int64
+			for _, dev := range e.cfg.Devices {
+				s := dev.OverlapStats()
+				kernelNs += s.KernelNs
+				overlapNs += s.OverlapNs
+			}
+			if kernelNs == 0 {
+				return 0
+			}
+			return float64(overlapNs) / float64(kernelNs)
 		})
 	e.obs.RegisterGauge("tagmatch_devices_quarantined",
 		"Devices currently quarantined by the failure circuit breaker.",
@@ -645,50 +665,80 @@ func (e *Engine) uploadToDevices(idx *index) error {
 		}
 	}
 
+	// Per-device query window rings: one shared signature ring per
+	// device, hit by every stream of the device.
+	if !e.cfg.DisableQueryWindow {
+		idx.windows = make([]*queryWindow, nDev)
+		for d, dev := range idx.devices {
+			wbuf, err := gpu.Alloc[bitvec.Vector](dev, e.cfg.QueryWindow)
+			if err != nil {
+				return fmt.Errorf("allocating query window on %s: %w", dev.Name(), err)
+			}
+			idx.windows[d] = newQueryWindow(wbuf)
+		}
+	}
+
+	depth := e.cfg.StreamDepth
 	if e.cfg.Replicate {
-		idx.streams = make(chan *streamCtx, nDev*e.cfg.StreamsPerDevice)
+		idx.streams = make(chan *streamSlot, nDev*e.cfg.StreamsPerDevice*depth)
 	} else {
-		idx.devStreams = make([]chan *streamCtx, nDev)
+		idx.devStreams = make([]chan *streamSlot, nDev)
 		for d := range idx.devStreams {
-			idx.devStreams[d] = make(chan *streamCtx, e.cfg.StreamsPerDevice)
+			idx.devStreams[d] = make(chan *streamSlot, e.cfg.StreamsPerDevice*depth)
 		}
 	}
 	for d, dev := range idx.devices {
 		for i := 0; i < e.cfg.StreamsPerDevice; i++ {
-			s, err := dev.OpenStream()
+			s, err := dev.OpenStreamBuffered(streamOpsBuffer(depth))
 			if err != nil {
 				if errors.Is(err, gpu.ErrTooManyStreams) && i > 0 {
 					break // use as many as the device allows
 				}
 				return err
 			}
-			sc := &streamCtx{dev: d, stream: s, hdrHost: make([]uint32, resHeaderWords)}
+			sc := &streamCtx{dev: d, stream: s}
 			// Feed every device op issued through the stream into the
-			// per-op-kind histograms and the in-flight batch's trace.
-			s.OnOp(func(r gpu.OpRecord) { e.observeGPUOp(sc, r) })
-			sc.qbuf, err = gpu.Alloc[bitvec.Vector](dev, e.cfg.BatchSize)
-			if err == nil {
-				sc.hdr, err = gpu.Alloc[uint32](dev, resHeaderWords)
-			}
-			if err == nil {
-				sc.pairs, err = gpu.Alloc[byte](dev, pairBufBytes(e.cfg.MaxPairsPerBatch))
-			}
-			if err == nil && e.cfg.SplitOutputLayout {
-				sc.splitQ, err = gpu.Alloc[uint32](dev, splitHeaderWords+e.cfg.MaxPairsPerBatch)
+			// per-op-kind histograms and the issuing batch's trace (the
+			// batch's slot rides on the op's attribution tag).
+			s.OnOp(e.observeGPUOp)
+			// depth slots per stream: the even/odd double buffering of
+			// §3.3.2 (generalized), letting batch n+1's upload + kernel
+			// run behind batch n's result transfer on the same stream.
+			for k := 0; k < depth; k++ {
+				sl := &streamSlot{sc: sc, hdrHost: make([]uint32, resHeaderWords)}
+				sl.qbuf, err = gpu.Alloc[bitvec.Vector](dev, e.cfg.BatchSize)
 				if err == nil {
-					sc.splitS, err = gpu.Alloc[uint32](dev, e.cfg.MaxPairsPerBatch)
+					sl.qidx, err = gpu.Alloc[uint32](dev, e.cfg.BatchSize)
 				}
-			}
-			if err != nil {
-				sc.free()
-				s.Close()
-				return fmt.Errorf("allocating stream buffers on %s: %w", dev.Name(), err)
+				if err == nil {
+					sl.hdr, err = gpu.Alloc[uint32](dev, resHeaderWords)
+				}
+				if err == nil {
+					sl.pairs, err = gpu.Alloc[byte](dev, pairBufBytes(e.cfg.MaxPairsPerBatch))
+				}
+				if err == nil && e.cfg.SplitOutputLayout {
+					sl.splitQ, err = gpu.Alloc[uint32](dev, splitHeaderWords+e.cfg.MaxPairsPerBatch)
+					if err == nil {
+						sl.splitS, err = gpu.Alloc[uint32](dev, e.cfg.MaxPairsPerBatch)
+					}
+				}
+				if err != nil {
+					sl.free()
+					for _, prev := range sc.slots {
+						prev.free()
+					}
+					s.Close()
+					return fmt.Errorf("allocating stream buffers on %s: %w", dev.Name(), err)
+				}
+				sc.slots = append(sc.slots, sl)
 			}
 			idx.allStreams = append(idx.allStreams, sc)
-			if e.cfg.Replicate {
-				idx.streams <- sc
-			} else {
-				idx.devStreams[d] <- sc
+			for _, sl := range sc.slots {
+				if e.cfg.Replicate {
+					idx.streams <- sl
+				} else {
+					idx.devStreams[d] <- sl
+				}
 			}
 		}
 	}
@@ -703,10 +753,16 @@ func (idx *index) release() {
 	idx.dispatching.Wait()
 	for _, sc := range idx.allStreams {
 		sc.stream.Synchronize()
-		sc.free()
+		for _, sl := range sc.slots {
+			sl.free()
+		}
 		sc.stream.Close()
 	}
 	idx.allStreams = nil
+	for _, w := range idx.windows {
+		w.buf.Free()
+	}
+	idx.windows = nil
 	for _, b := range idx.devBufs {
 		b.Free()
 	}
@@ -807,6 +863,13 @@ func (e *Engine) Stats() Stats {
 		KernelGatePruned:    e.obs.Kernel.GatePruned.Load(),
 		KernelGroupScans:    e.obs.Kernel.GroupScans.Load(),
 		KernelColumnsWalked: e.obs.Kernel.ColumnsWalked.Load(),
+		WindowHits:          e.obs.Streams.WindowHits.Load(),
+		WindowMisses:        e.obs.Streams.WindowMisses.Load(),
+		WindowEvictions:     e.obs.Streams.WindowEvictions.Load(),
+		WindowFallbacks:     e.obs.Streams.WindowFallbacks.Load(),
+		H2DQueryBytes:       e.obs.Streams.H2DQueryBytes.Load(),
+		QuerySlots:          e.obs.Streams.QuerySlots.Load(),
+		PipelinedDispatches: e.obs.Streams.PipelinedDispatches.Load(),
 		HostBytes:           idx.hostBytes,
 		LastConsolidate:     time.Duration(e.consolidateTime.Load()),
 		PreprocessTime:      time.Duration(e.preprocessNs.Load()),

@@ -100,7 +100,8 @@ func blockPrefilter(b *gpu.BlockCtx, blockSets []bitvec.Vector, qs []bitvec.Vect
 //     [partOff, partOff+partLen).
 //   - globalBase: global set id of the partition's first set, used to
 //     produce globally meaningful set ids in the output.
-//   - queries: device-resident batch of query signatures.
+//   - qsrc: the batch's device-resident query signatures — a dense
+//     per-batch upload, or indices into the device's query window.
 //   - hdr, pairs: result header and packed pair buffer.
 //   - pf: optional per-partition observability counters; the kernel
 //     reports prefilter effectiveness (blocks evaluated vs. fully
@@ -111,8 +112,7 @@ func blockPrefilter(b *gpu.BlockCtx, blockSets []bitvec.Vector, qs []bitvec.Vect
 func matchKernelAt(
 	tagsets *gpu.Buffer[bitvec.Vector],
 	partOff, partLen, globalBase int,
-	queries *gpu.Buffer[bitvec.Vector],
-	nQueries int,
+	qsrc querySrc,
 	hdr *gpu.Buffer[uint32],
 	pairs *gpu.Buffer[byte],
 	maxPairs int,
@@ -121,7 +121,7 @@ func matchKernelAt(
 ) gpu.KernelFunc {
 	return func(b *gpu.BlockCtx) {
 		sets := tagsets.Data()[partOff : partOff+partLen]
-		qs := queries.Data()[:nQueries]
+		qs := qsrc.gather()
 		h, out := hdr.Data(), pairs.Data()
 
 		first := b.FirstGlobalID()
@@ -174,8 +174,7 @@ func matchKernelAt(
 func splitMatchKernelAt(
 	tagsets *gpu.Buffer[bitvec.Vector],
 	partOff, partLen, globalBase int,
-	queries *gpu.Buffer[bitvec.Vector],
-	nQueries int,
+	qsrc querySrc,
 	outQ *gpu.Buffer[uint32],
 	outS *gpu.Buffer[uint32],
 	maxPairs int,
@@ -184,7 +183,7 @@ func splitMatchKernelAt(
 ) gpu.KernelFunc {
 	return func(b *gpu.BlockCtx) {
 		sets := tagsets.Data()[partOff : partOff+partLen]
-		qs := queries.Data()[:nQueries]
+		qs := qsrc.gather()
 		qout, sout := outQ.Data(), outS.Data()
 
 		first := b.FirstGlobalID()

@@ -114,8 +114,7 @@ func matchGroup(
 func slicedMatchKernelAt(
 	groups *gpu.Buffer[bitvec.SlicedGroup],
 	grpOff, nGroups, globalBase int,
-	queries *gpu.Buffer[bitvec.Vector],
-	nQueries int,
+	qsrc querySrc,
 	hdr *gpu.Buffer[uint32],
 	pairs *gpu.Buffer[byte],
 	maxPairs int,
@@ -125,7 +124,7 @@ func slicedMatchKernelAt(
 ) gpu.KernelFunc {
 	return func(b *gpu.BlockCtx) {
 		gs := groups.Data()[grpOff : grpOff+nGroups]
-		qs := queries.Data()[:nQueries]
+		qs := qsrc.gather()
 		h, out := hdr.Data(), pairs.Data()
 		if b.FirstGlobalID() >= len(gs) {
 			return
@@ -151,8 +150,7 @@ func slicedMatchKernelAt(
 func slicedSplitMatchKernelAt(
 	groups *gpu.Buffer[bitvec.SlicedGroup],
 	grpOff, nGroups, globalBase int,
-	queries *gpu.Buffer[bitvec.Vector],
-	nQueries int,
+	qsrc querySrc,
 	outQ *gpu.Buffer[uint32],
 	outS *gpu.Buffer[uint32],
 	maxPairs int,
@@ -162,7 +160,7 @@ func slicedSplitMatchKernelAt(
 ) gpu.KernelFunc {
 	return func(b *gpu.BlockCtx) {
 		gs := groups.Data()[grpOff : grpOff+nGroups]
-		qs := queries.Data()[:nQueries]
+		qs := qsrc.gather()
 		qout, sout := outQ.Data(), outS.Data()
 		if b.FirstGlobalID() >= len(gs) {
 			return

@@ -76,7 +76,7 @@ func runSlicedGPUKernel(t *testing.T, sets, queries []bitvec.Vector, maxPairs, b
 		gpu.CopyToDeviceAsync(s, qbuf, 0, queries)
 	}
 	s.LaunchAsync(slicedGrid(len(groups), blockDim),
-		slicedMatchKernelAt(groupsBuf, 0, len(groups), 0, qbuf, len(queries), hdr, pairsBuf, maxPairs, gate, nil, kc))
+		slicedMatchKernelAt(groupsBuf, 0, len(groups), 0, querySrc{direct: qbuf, n: len(queries)}, hdr, pairsBuf, maxPairs, gate, nil, kc))
 	hdrHost := make([]uint32, resHeaderWords)
 	gpu.CopyFromDeviceAsync(s, hdr, hdrHost, 0)
 	s.Synchronize()
@@ -197,7 +197,7 @@ func TestSlicedSplitKernelMatchesPacked(t *testing.T) {
 	gpu.CopyToDeviceAsync(s, outQ, 0, []uint32{0, 0})
 	gpu.CopyToDeviceAsync(s, qbuf, 0, queries)
 	s.LaunchAsync(slicedGrid(len(groups), 256),
-		slicedSplitMatchKernelAt(groupsBuf, 0, len(groups), 0, qbuf, len(queries), outQ, outS, maxPairs, true, nil, nil))
+		slicedSplitMatchKernelAt(groupsBuf, 0, len(groups), 0, querySrc{direct: qbuf, n: len(queries)}, outQ, outS, maxPairs, true, nil, nil))
 	hdrHost := make([]uint32, splitHeaderWords)
 	gpu.CopyFromDeviceAsync(s, outQ, hdrHost, 0)
 	s.Synchronize()
@@ -384,6 +384,11 @@ func TestKernelBenchmarkSmoke(t *testing.T) {
 	}
 	if res.GateChecks == 0 || res.GroupScans == 0 || res.ColumnsWalked == 0 {
 		t.Fatalf("telemetry not recorded: %+v", res)
+	}
+	// The header reset is fused into the launch: exactly the one query
+	// upload per batch, never a separate reset copy.
+	if res.H2DCopiesPerBatch != 1 {
+		t.Fatalf("H2D copies per batch = %v, want exactly 1 (fused header reset)", res.H2DCopiesPerBatch)
 	}
 }
 

@@ -78,7 +78,7 @@ func runGPUKernel(t *testing.T, sets, queries []bitvec.Vector, maxPairs, blockDi
 	gpu.CopyToDeviceAsync(s, hdr, 0, []uint32{0, 0})
 	gpu.CopyToDeviceAsync(s, qbuf, 0, queries)
 	grid := gpu.Grid{Blocks: (len(sets) + blockDim - 1) / blockDim, BlockDim: blockDim}
-	s.LaunchAsync(grid, matchKernelAt(tagsets, 0, len(sets), 0, qbuf, len(queries), hdr, pairsBuf, maxPairs, prefilter, nil))
+	s.LaunchAsync(grid, matchKernelAt(tagsets, 0, len(sets), 0, querySrc{direct: qbuf, n: len(queries)}, hdr, pairsBuf, maxPairs, prefilter, nil))
 	hdrHost := make([]uint32, resHeaderWords)
 	gpu.CopyFromDeviceAsync(s, hdr, hdrHost, 0)
 	s.Synchronize()
@@ -290,7 +290,7 @@ func TestSplitKernelMatchesPacked(t *testing.T) {
 	gpu.CopyToDeviceAsync(s, outQ, 0, []uint32{0, 0})
 	gpu.CopyToDeviceAsync(s, qbuf, 0, queries)
 	grid := gpu.Grid{Blocks: (len(sets) + 255) / 256, BlockDim: 256}
-	s.LaunchAsync(grid, splitMatchKernelAt(tagsets, 0, len(sets), 0, qbuf, len(queries), outQ, outS, maxPairs, true, nil))
+	s.LaunchAsync(grid, splitMatchKernelAt(tagsets, 0, len(sets), 0, querySrc{direct: qbuf, n: len(queries)}, outQ, outS, maxPairs, true, nil))
 	hdrHost := make([]uint32, splitHeaderWords)
 	gpu.CopyFromDeviceAsync(s, outQ, hdrHost, 0)
 	s.Synchronize()

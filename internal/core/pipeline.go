@@ -210,43 +210,101 @@ type openBatch struct {
 	ctxs []context.Context
 }
 
-// streamCtx bundles a GPU stream with its per-stream device buffers: the
-// query batch buffer, the result header (pair counter + overflow flag),
-// the packed pair buffer, and — for the split-layout ablation — the two
-// separate id arrays. hdrHost is the reusable host staging slot for the
-// D2H header copy: the stream executes ops in FIFO order and the batch's
-// callback consumes the header before the stream is released, so one
-// slot per stream suffices and no per-batch staging is allocated.
+// streamCtx bundles a GPU stream with its pipelined dispatch slots
+// (§3.3.2's even/odd double buffering generalized to StreamDepth). Each
+// slot is a full set of per-batch device buffers, so up to depth batches
+// can be in flight on one stream: batch n+1's header-reset + H2D +
+// kernel are enqueued behind batch n's gated pairs transfer and overlap
+// with its reduce, instead of the stream idling while the host walks
+// batch n's results.
 type streamCtx struct {
-	dev     int
-	stream  *gpu.Stream
-	qbuf    *gpu.Buffer[bitvec.Vector]
-	hdr     *gpu.Buffer[uint32]
-	pairs   *gpu.Buffer[byte]
-	splitQ  *gpu.Buffer[uint32]
-	splitS  *gpu.Buffer[uint32]
-	hdrHost []uint32
+	dev    int
+	stream *gpu.Stream
+	slots  []*streamSlot
 
-	// traced holds the sampled traces of the batch currently in flight
-	// on this stream; the stream's OnOp observer attaches device-op
-	// spans to them. Written by the dispatching goroutine before the
-	// batch's first enqueue (the channel send publishes it to the
-	// executor) and read only by the executor; at most one batch is in
-	// flight per stream, so there is no concurrent batch to race with.
+	// enqMu serializes whole batch enqueue sequences. With depth slots,
+	// two dispatcher goroutines can hold slots of the same stream
+	// concurrently; without the lock their FIFO entries could interleave
+	// and a segment error of one batch would be consumed by the other's
+	// callback. The executor never takes enqMu, so a dispatcher blocked
+	// on a full FIFO while holding it cannot deadlock — the executor
+	// keeps draining.
+	enqMu sync.Mutex
+
+	// inflight counts batches enqueued on the stream and not yet
+	// completed; sampled into the slot-occupancy histogram at dispatch,
+	// it measures how often the pipeline actually overlaps batches.
+	inflight atomic.Int32
+}
+
+// streamSlot is one pipelined dispatch slot: the per-batch device
+// buffers (query batch, result header, packed pair buffer, the
+// split-layout ablation's two id arrays, and the query-window index
+// array) plus the slot's host staging state. A slot is owned exclusively
+// by one attempt from pool acquisition until its final callback returns
+// it — attempts never share a slot, which is what keeps a losing hedge
+// or a faulted segment from recycling buffers a rival attempt still
+// reads (the cross-attempt sharing happens one level up, in the
+// query window, under its pin counts).
+//
+// hdrHost is the host staging slot for the ablation paths' D2H header
+// copy; res and fault carry the batch outcome from the header callback
+// to the completion callback. All of the staging state is written by
+// the dispatching goroutine before the batch's first enqueue (the
+// FIFO send publishes it to the executor) or by the executor itself
+// between the slot's callbacks; pool-channel handoff orders reuse.
+type streamSlot struct {
+	sc     *streamCtx
+	qbuf   *gpu.Buffer[bitvec.Vector]
+	qidx   *gpu.Buffer[uint32]
+	hdr    *gpu.Buffer[uint32]
+	pairs  *gpu.Buffer[byte]
+	splitQ *gpu.Buffer[uint32]
+	splitS *gpu.Buffer[uint32]
+
+	hdrHost  []uint32
+	qidxHost []uint32
+
+	// Query-window staging for the batch in flight: the coalesced fill
+	// payload (winHost, aligned with winRuns) and the window slots whose
+	// pins/pending states the header callback must settle. Slot-owned so
+	// async H2D sources never alias b.sigs, whose backing array a rival
+	// settle may recycle mid-copy.
+	winHost    []bitvec.Vector
+	winRuns    []winRun
+	winPinned  []int
+	winUploads []int
+	dedup      map[bitvec.Vector]uint32
+
+	// res and fault are the in-flight batch's outcome, set by the header
+	// callback and consumed by the completion callback (both on the
+	// executor goroutine, FIFO-ordered).
+	res   *batchResult
+	fault error
+
+	// traced holds the sampled traces of the batch in flight on this
+	// slot; the stream's OnOp observer resolves each op's slot through
+	// its attribution tag and attaches device-op spans to them, keeping
+	// interleaved batches distinguishable.
 	traced []*obs.Trace
 }
 
-// hdrZero is the shared H2D source that resets a device-side result
-// header. Never written after init, so every stream may copy from it
-// concurrently.
-var hdrZero = []uint32{0, 0}
+func (sl *streamSlot) free() {
+	sl.qbuf.Free()
+	sl.qidx.Free()
+	sl.hdr.Free()
+	sl.pairs.Free()
+	sl.splitQ.Free()
+	sl.splitS.Free()
+}
 
-func (sc *streamCtx) free() {
-	sc.qbuf.Free()
-	sc.hdr.Free()
-	sc.pairs.Free()
-	sc.splitQ.Free()
-	sc.splitS.Free()
+// streamOpsBuffer sizes a stream's op FIFO for pipelined dispatch: the
+// deepest enqueue burst is ~9 ops per batch (window fill runs + index
+// upload + fused launch + callbacks + gated copies), so depth×16 leaves
+// slack for depth concurrent batches without a dispatcher ever parking
+// on a full FIFO while holding enqMu.
+func streamOpsBuffer(depth int) int {
+	return max(64, depth*16)
 }
 
 // payloadKind selects the payload source the reduce stage decodes.
@@ -1076,18 +1134,19 @@ func (e *Engine) maybeHedge(idx *index, b *openBatch, primary int, traced []*obs
 	e.batchUnref(b) // the timer's own hold
 }
 
-// acquireStream pulls a stream whose device is healthy (or due a
+// acquireStream pulls a dispatch slot whose device is healthy (or due a
 // recovery probe), preferring devices other than avoid — the device of a
-// failed prior attempt. It returns nil when no usable stream can be
-// found in a bounded number of tries, in which case the caller re-runs
-// the batch on the host. Skipped streams go straight back into the pool,
-// so quarantining never shrinks the pool itself. The inter-pass backoff
-// is abandoned — returning nil immediately — when the engine is closing,
-// the batch has already settled (a rival hedge attempt delivered), or
-// every member query has expired: sleeping through any of those would
-// hold up shutdown or burn the callers' remaining deadline for a stream
-// nobody needs anymore.
-func (e *Engine) acquireStream(idx *index, b *openBatch, avoid int) *streamCtx {
+// failed prior attempt. The pool holds StreamDepth slots per stream, so
+// up to depth batches can be dispatching onto one stream concurrently.
+// It returns nil when no usable slot can be found in a bounded number of
+// tries, in which case the caller re-runs the batch on the host. Skipped
+// slots go straight back into the pool, so quarantining never shrinks
+// the pool itself. The inter-pass backoff is abandoned — returning nil
+// immediately — when the engine is closing, the batch has already
+// settled (a rival hedge attempt delivered), or every member query has
+// expired: sleeping through any of those would hold up shutdown or burn
+// the callers' remaining deadline for a slot nobody needs anymore.
+func (e *Engine) acquireStream(idx *index, b *openBatch, avoid int) *streamSlot {
 	if !e.cfg.Replicate {
 		// Partitioned placement binds the partition to one device; there
 		// is no alternative device to retry on.
@@ -1116,45 +1175,45 @@ func (e *Engine) acquireStream(idx *index, b *openBatch, avoid int) *streamCtx {
 		}
 	}
 	// Replicate mode: scan the shared pool without ever parking on the
-	// channel — a checked-out stream can be hundreds of milliseconds away
+	// channel — a checked-out slot can be hundreds of milliseconds away
 	// behind an injected (or real) straggler, and a batch that has become
 	// moot in the meantime (engine closed, every member's context ended,
 	// or a hedge rival already settled it) must stop waiting for one.
 	// Each round drains whatever is currently pooled, preferring a
-	// device other than avoid but holding a usable avoided stream as the
-	// round's fallback (a single-device engine retries on another stream
+	// device other than avoid but holding a usable avoided slot as the
+	// round's fallback (a single-device engine retries on another slot
 	// of the same GPU). A fruitless round when every device is
 	// quarantined gives up (CPU fallback); a fruitless round with merely
-	// checked-out streams backs off briefly and rescans, re-checking
+	// checked-out slots backs off briefly and rescans, re-checking
 	// abandonment around the sleep so expired work never queues behind a
 	// straggler.
 	for {
-		var fallback *streamCtx
+		var fallback *streamSlot
 		for i := 0; i < cap(idx.streams); i++ {
-			var sc *streamCtx
+			var sl *streamSlot
 			select {
-			case sc = <-idx.streams:
+			case sl = <-idx.streams:
 			default:
 			}
-			if sc == nil {
+			if sl == nil {
 				break // pool exhausted this round
 			}
-			if e.deviceUsable(sc.dev) {
+			if e.deviceUsable(sl.sc.dev) {
 				// A usable quarantined device means deviceUsable elected
 				// this batch as its recovery probe: dispatch there even if
 				// it is the avoided device, or the probe would leak.
-				if sc.dev != avoid || e.health[sc.dev].quarantined.Load() {
+				if sl.sc.dev != avoid || e.health[sl.sc.dev].quarantined.Load() {
 					if fallback != nil {
 						idx.streams <- fallback
 					}
-					return sc
+					return sl
 				}
 				if fallback == nil {
-					fallback = sc
+					fallback = sl
 					continue
 				}
 			}
-			idx.streams <- sc
+			idx.streams <- sl
 		}
 		if fallback != nil {
 			return fallback // only the avoided device is usable
@@ -1222,8 +1281,8 @@ const streamAcquireBackoff = 500 * time.Microsecond
 // terminal path of the chain releases both exactly once.
 func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int, hedge bool, traced []*obs.Trace) {
 	p := &idx.parts[b.pid]
-	sc := e.acquireStream(idx, b, avoid)
-	if sc == nil {
+	sl := e.acquireStream(idx, b, avoid)
+	if sl == nil {
 		if hedge {
 			// No device to hedge onto: race the straggler on the host.
 			// Not a fault fallback — only the hedge counters move.
@@ -1235,6 +1294,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		idx.dispatching.Done()
 		return
 	}
+	sc := sl.sc
 	dev := sc.dev
 	buf := idx.devBufs[dev]
 	partOff := int(p.off)
@@ -1267,19 +1327,30 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	}
 
 	release := func() {
+		sc.inflight.Add(-1)
 		if e.cfg.Replicate {
-			idx.streams <- sc
+			idx.streams <- sl
 		} else {
-			idx.devStreams[dev] <- sc
+			idx.devStreams[dev] <- sl
 		}
 	}
 
-	// Point the stream's op observer at this batch's sampled traces
-	// before any operation is enqueued. The traces were captured at
-	// dispatch time (gpuDispatch), NOT re-read from b.queries: on a
-	// retry or hedge the rival attempt may already have settled the
-	// batch and recycled its queries.
-	sc.traced = append(sc.traced[:0], traced...)
+	// Point the slot at this batch's sampled traces before any operation
+	// is enqueued (every op carries the slot as its attribution tag, so
+	// the OnOp observer finds the right traces even with rival batches
+	// interleaved on the stream). The traces were captured at dispatch
+	// time (gpuDispatch), NOT re-read from b.queries: on a retry or
+	// hedge the rival attempt may already have settled the batch and
+	// recycled its queries.
+	sl.traced = append(sl.traced[:0], traced...)
+	sl.res, sl.fault = nil, nil
+
+	// Pipeline occupancy: how many batches share the stream right now.
+	occ := sc.inflight.Add(1)
+	e.obs.Streams.SlotOccupancy.Observe(int64(occ))
+	if occ > 1 {
+		e.obs.Streams.PipelinedDispatches.Add(1)
+	}
 
 	// Arm the straggler budget on the primary chain's first attempt,
 	// before any operation is enqueued (the enqueue's channel send
@@ -1301,84 +1372,164 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		t.Reset(e.hedgeBudget(dev))
 	}
 
+	// Query upload: map the batch onto the device's query window ring
+	// (unique signatures upload once, the batch carries u32 indices) when
+	// the window is enabled and has room; otherwise the dense per-slot
+	// upload. The assignment pins the referenced ring slots until the
+	// header callback settles them, so no rival batch's fill can
+	// overwrite a signature this kernel still reads.
+	var win *queryWindow
+	if idx.windows != nil {
+		win = idx.windows[dev]
+	}
+	useWin := win != nil && win.assign(sl, b.sigs, &e.obs.Streams)
+	if win != nil && !useWin {
+		e.obs.Streams.WindowFallbacks.Add(1)
+	}
+	e.obs.Streams.QuerySlots.Add(int64(nQ))
+	var qsrc querySrc
+	if useWin {
+		e.obs.Streams.H2DQueryBytes.Add(int64(len(sl.winHost)*sigBytes + nQ*4))
+		qsrc = querySrc{window: win.buf, qidx: sl.qidx, n: nQ}
+	} else {
+		e.obs.Streams.H2DQueryBytes.Add(int64(nQ * sigBytes))
+		qsrc = querySrc{direct: sl.qbuf, n: nQ}
+	}
+	enqueueQueries := func() {
+		if useWin {
+			off := 0
+			for _, run := range sl.winRuns {
+				gpu.CopyToDeviceAsync(sc.stream, win.buf, run.off, sl.winHost[off:off+run.n], sl)
+				off += run.n
+			}
+			gpu.CopyToDeviceAsync(sc.stream, sl.qidx, 0, sl.qidxHost[:nQ], sl)
+		} else {
+			gpu.CopyToDeviceAsync(sc.stream, sl.qbuf, 0, b.sigs, sl)
+		}
+	}
+	// settleWin resolves the window pins/pending states exactly once, in
+	// the first error-consuming callback of the batch — by which point
+	// the kernel has provably finished (FIFO order) and the fate of the
+	// fills is known.
+	settleWin := func(failed bool) {
+		if useWin {
+			win.settle(sl, failed)
+		}
+	}
+	// complete is the batch's final stream callback: it consumes the
+	// result-transfer segment's error, takes the outcome staged on the
+	// slot by the header callback, releases the slot, and routes to the
+	// reduce stage or the fault machinery. Every terminal path of the
+	// attempt chain runs through here exactly once (except the ablation
+	// paths, which complete inside their single callback).
+	complete := func(opErr error) {
+		res, fault := sl.res, sl.fault
+		sl.res, sl.fault = nil, nil
+		if fault != nil {
+			release()
+			e.batchFault(idx, b, dev, attempt, hedge, traced, fault)
+			return
+		}
+		if opErr != nil {
+			if res != nil {
+				e.pools.putResult(res)
+			}
+			release()
+			e.batchFault(idx, b, dev, attempt, hedge, traced, opErr)
+			return
+		}
+		e.batchOK(dev, b, hedge)
+		release()
+		e.deliverResult(b, res, hedge)
+		e.batchUnref(b)
+		idx.dispatching.Done()
+	}
+
 	if e.cfg.SplitOutputLayout {
 		// Ablation: two separate id arrays, two result copies.
-		gpu.CopyToDeviceAsync(sc.stream, sc.splitQ, 0, hdrZero)
-		gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
+		var kernel gpu.KernelFunc
 		if sliced {
-			sc.stream.LaunchAsync(grid, slicedSplitMatchKernelAt(idx.devGroupBufs[dev],
-				grpOff, nGroups, globalBase, sc.qbuf, nQ, sc.splitQ, sc.splitS,
+			kernel = slicedSplitMatchKernelAt(idx.devGroupBufs[dev],
+				grpOff, nGroups, globalBase, qsrc, sl.splitQ, sl.splitS,
 				e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
-				e.partCounters(b.pid), &e.obs.Kernel))
+				e.partCounters(b.pid), &e.obs.Kernel)
 		} else {
-			sc.stream.LaunchAsync(grid, splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
-				sc.qbuf, nQ, sc.splitQ, sc.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
-				e.partCounters(b.pid)))
+			kernel = splitMatchKernelAt(buf, partOff, int(p.n), globalBase,
+				qsrc, sl.splitQ, sl.splitS, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+				e.partCounters(b.pid))
 		}
-		gpu.CopyFromDeviceAsync(sc.stream, sc.splitQ, sc.hdrHost, 0)
+		sc.enqMu.Lock()
+		enqueueQueries()
+		sc.stream.LaunchZeroedAsync(grid, sl.splitQ, splitHeaderWords, kernel, sl)
+		gpu.CopyFromDeviceAsync(sc.stream, sl.splitQ, sl.hdrHost, 0, sl)
 		sc.stream.CallbackErr(func(opErr error) {
+			settleWin(opErr != nil)
 			if opErr != nil {
-				release()
-				e.batchFault(idx, b, sc.dev, attempt, hedge, traced, opErr)
+				sl.fault = opErr
 				return
 			}
-			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
+			count, overflow := clampCount(sl.hdrHost[0], sl.hdrHost[1], e.cfg.MaxPairsPerBatch)
 			res := e.pools.getResult()
 			res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
 			if !overflow {
 				res.kind = payloadSplit // payloadCPU (re-run on host) on overflow
 			}
-			if !overflow && count > 0 {
-				res.qIDs = growU32(res.qIDs, count)
-				res.sIDs = growU32(res.sIDs, count)
-				// Two exact-size copies: the cost the packed layout avoids.
-				err := gpu.CopyFromDeviceNow(sc.stream, sc.splitQ, res.qIDs, splitHeaderWords)
-				if err == nil {
-					err = gpu.CopyFromDeviceNow(sc.stream, sc.splitS, res.sIDs, 0)
-				}
-				if err != nil {
-					e.pools.putResult(res)
-					release()
-					e.batchFault(idx, b, sc.dev, attempt, hedge, traced, err)
-					return
-				}
-			}
-			e.batchOK(sc, b, hedge)
-			release()
-			e.deliverResult(b, res, hedge)
-			e.batchUnref(b)
-			idx.dispatching.Done()
+			sl.res = res
 		})
+		// Two exact-size gated copies: the cost the packed layout avoids.
+		gpu.CopyFromDeviceGated(sc.stream, sl.splitQ, func() ([]uint32, int) {
+			res := sl.res
+			if res == nil || res.overflow || res.count == 0 {
+				return nil, 0
+			}
+			res.qIDs = growU32(res.qIDs, res.count)
+			return res.qIDs, splitHeaderWords
+		}, sl)
+		gpu.CopyFromDeviceGated(sc.stream, sl.splitS, func() ([]uint32, int) {
+			res := sl.res
+			if res == nil || res.overflow || res.count == 0 {
+				return nil, 0
+			}
+			res.sIDs = growU32(res.sIDs, res.count)
+			return res.sIDs, 0
+		}, sl)
+		sc.stream.CallbackErr(complete)
+		sc.enqMu.Unlock()
 		return
 	}
 
-	// Packed layout (§3.3.1). Zero the device-side header (the analogue
-	// of cudaMemsetAsync), copy the batch, launch, then transfer results.
-	gpu.CopyToDeviceAsync(sc.stream, sc.hdr, 0, hdrZero)
-	gpu.CopyToDeviceAsync(sc.stream, sc.qbuf, 0, b.sigs)
+	// Packed layout (§3.3.1). The device-side header reset is fused into
+	// the launch (LaunchZeroedAsync — the cudaMemsetAsync that used to be
+	// a separate tiny H2D copy now rides in the kernel prologue).
+	var kernel gpu.KernelFunc
 	if sliced {
-		sc.stream.LaunchAsync(grid, slicedMatchKernelAt(idx.devGroupBufs[dev],
-			grpOff, nGroups, globalBase, sc.qbuf, nQ, sc.hdr, sc.pairs,
+		kernel = slicedMatchKernelAt(idx.devGroupBufs[dev],
+			grpOff, nGroups, globalBase, qsrc, sl.hdr, sl.pairs,
 			e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
-			e.partCounters(b.pid), &e.obs.Kernel))
+			e.partCounters(b.pid), &e.obs.Kernel)
 	} else {
-		sc.stream.LaunchAsync(grid, matchKernelAt(buf, partOff, int(p.n), globalBase,
-			sc.qbuf, nQ, sc.hdr, sc.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
-			e.partCounters(b.pid)))
+		kernel = matchKernelAt(buf, partOff, int(p.n), globalBase,
+			qsrc, sl.hdr, sl.pairs, e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
+			e.partCounters(b.pid))
 	}
 
 	if e.cfg.SizeThenCopy {
 		// Ablation: the naive scheme — copy the 4-byte size, then issue
-		// a second exact-size copy (an extra paid transfer and an extra
-		// synchronization point per batch).
-		gpu.CopyFromDeviceAsync(sc.stream, sc.hdr, sc.hdrHost, 0)
+		// a second exact-size copy synchronously on the executor (an
+		// extra paid transfer and an extra synchronization point per
+		// batch, and no pipelining while the executor blocks).
+		sc.enqMu.Lock()
+		enqueueQueries()
+		sc.stream.LaunchZeroedAsync(grid, sl.hdr, resHeaderWords, kernel, sl)
+		gpu.CopyFromDeviceAsync(sc.stream, sl.hdr, sl.hdrHost, 0, sl)
 		sc.stream.CallbackErr(func(opErr error) {
+			settleWin(opErr != nil)
 			if opErr != nil {
 				release()
-				e.batchFault(idx, b, sc.dev, attempt, hedge, traced, opErr)
+				e.batchFault(idx, b, dev, attempt, hedge, traced, opErr)
 				return
 			}
-			count, overflow := clampCount(sc.hdrHost[0], sc.hdrHost[1], e.cfg.MaxPairsPerBatch)
+			count, overflow := clampCount(sl.hdrHost[0], sl.hdrHost[1], e.cfg.MaxPairsPerBatch)
 			res := e.pools.getResult()
 			res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
 			if !overflow {
@@ -1386,58 +1537,60 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 			}
 			if !overflow && count > 0 {
 				res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
-				if err := gpu.CopyFromDeviceNow(sc.stream, sc.pairs, res.packed, 0); err != nil {
+				if err := gpu.CopyFromDeviceNow(sc.stream, sl.pairs, res.packed, 0, sl); err != nil {
 					e.pools.putResult(res)
 					release()
-					e.batchFault(idx, b, sc.dev, attempt, hedge, traced, err)
+					e.batchFault(idx, b, dev, attempt, hedge, traced, err)
 					return
 				}
 			}
-			e.batchOK(sc, b, hedge)
+			e.batchOK(dev, b, hedge)
 			release()
 			e.deliverResult(b, res, hedge)
 			e.batchUnref(b)
 			idx.dispatching.Done()
 		})
+		sc.enqMu.Unlock()
 		return
 	}
 
-	// Double-buffered result transfer (§3.3.2): the paper interleaves
-	// even/odd buffers so each cycle issues exactly one minimal-size
-	// result copy, the size having been learned from the previous
-	// cycle's transfer. In the simulator the stream callback reads the
-	// device-side length for free — the same effect (no extra paid
-	// transfer, no extra round trip) without the cycle bookkeeping — and
-	// then issues the single exact-size copy of header + pairs.
+	// Pipelined double-buffered result transfer (§3.3.2). The header
+	// callback reads the device-side length for free and stages the
+	// outcome on the slot; the gated copy then resolves its exact-size
+	// destination at the FIFO head and transfers asynchronously on the
+	// stream. Nothing here blocks the executor, so the next batch's H2D
+	// + kernel — already enqueued behind these ops by a rival slot of
+	// the same stream — starts the moment the transfer is issued, and
+	// depth batches ride the stream in flight at once.
+	sc.enqMu.Lock()
+	enqueueQueries()
+	sc.stream.LaunchZeroedAsync(grid, sl.hdr, resHeaderWords, kernel, sl)
 	sc.stream.CallbackErr(func(opErr error) {
+		settleWin(opErr != nil)
 		if opErr != nil {
-			release()
-			e.batchFault(idx, b, sc.dev, attempt, hedge, traced, opErr)
+			sl.fault = opErr
 			return
 		}
-		rawCount := atomic.LoadUint32(&sc.hdr.Data()[0])
-		rawOver := atomic.LoadUint32(&sc.hdr.Data()[1])
+		rawCount := atomic.LoadUint32(&sl.hdr.Data()[0])
+		rawOver := atomic.LoadUint32(&sl.hdr.Data()[1])
 		count, overflow := clampCount(rawCount, rawOver, e.cfg.MaxPairsPerBatch)
 		res := e.pools.getResult()
 		res.idx, res.batch, res.count, res.overflow = idx, b, count, overflow
 		if !overflow {
 			res.kind = payloadPacked
 		}
-		if !overflow && count > 0 {
-			res.packed = growBytes(res.packed, ((count+3)/4)*bytesPerGroup)
-			if err := gpu.CopyFromDeviceNow(sc.stream, sc.pairs, res.packed, 0); err != nil {
-				e.pools.putResult(res)
-				release()
-				e.batchFault(idx, b, sc.dev, attempt, hedge, traced, err)
-				return
-			}
-		}
-		e.batchOK(sc, b, hedge)
-		release()
-		e.deliverResult(b, res, hedge)
-		e.batchUnref(b)
-		idx.dispatching.Done()
+		sl.res = res
 	})
+	gpu.CopyFromDeviceGated(sc.stream, sl.pairs, func() ([]byte, int) {
+		res := sl.res
+		if res == nil || res.overflow || res.count == 0 {
+			return nil, 0
+		}
+		res.packed = growBytes(res.packed, ((res.count+3)/4)*bytesPerGroup)
+		return res.packed, 0
+	}, sl)
+	sc.stream.CallbackErr(complete)
+	sc.enqMu.Unlock()
 }
 
 // batchOK records a successful GPU attempt for the dispatching stream's
@@ -1446,10 +1599,10 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 // device's batch service-time distribution, from which the percentile
 // hedge mode derives its straggler budget; hedge attempts are excluded
 // so the budget tracks the unhedged baseline.
-func (e *Engine) batchOK(sc *streamCtx, b *openBatch, hedge bool) {
-	e.recordDeviceSuccess(sc.dev)
+func (e *Engine) batchOK(dev int, b *openBatch, hedge bool) {
+	e.recordDeviceSuccess(dev)
 	if !hedge {
-		e.health[sc.dev].svc.ObserveDuration(time.Since(b.dispatched))
+		e.health[dev].svc.ObserveDuration(time.Since(b.dispatched))
 	}
 }
 
@@ -1538,16 +1691,22 @@ func (e *Engine) reduceWorker() {
 
 // observeGPUOp is the per-stream OnOp observer: it feeds the completed
 // device operation into the op-kind histograms and attaches a span to
-// every sampled trace of the batch in flight on the stream. Runs on the
-// stream's executor goroutine.
-func (e *Engine) observeGPUOp(sc *streamCtx, r gpu.OpRecord) {
+// every sampled trace of the issuing batch. With pipelined dispatch a
+// stream interleaves ops of several batches, so the issuing slot rides
+// on the op's attribution tag rather than on per-stream state. Runs on
+// the stream's executor goroutine.
+func (e *Engine) observeGPUOp(r gpu.OpRecord) {
 	if !e.obs.On {
 		return
 	}
 	if h := e.obs.GPUOpHist(r.KindName()); h != nil {
 		h.Observe(r.Wait(), r.Service())
 	}
-	for _, tr := range sc.traced {
+	sl, _ := r.Tag.(*streamSlot)
+	if sl == nil {
+		return
+	}
+	for _, tr := range sl.traced {
 		n := r.Bytes
 		if r.Kind == gpu.OpKernel {
 			n = int64(r.Blocks)

@@ -62,6 +62,30 @@ type Config struct {
 	// paper's platform supported 10. Defaults to min(10, device max).
 	StreamsPerDevice int
 
+	// StreamDepth is the number of pipelined dispatch slots per stream —
+	// the generalized even/odd double buffering of §3.3.2. At depth d,
+	// up to d batches ride one stream concurrently: batch n+1's header
+	// reset + H2D + kernel are enqueued while batch n's results are
+	// still transferring, hiding the copy tax behind kernel time.
+	// Defaults to 2 (even/odd); 1 reproduces the one-batch-per-stream
+	// behavior as the ablation baseline. Depths beyond 2 rarely pay:
+	// the FIFO already holds the next batch's work the moment the
+	// current kernel finishes, so extra slots only add buffer memory.
+	StreamDepth int
+
+	// QueryWindow is the per-device query-signature ring size, in
+	// signatures. Dispatch maps each batch's signatures onto the ring —
+	// a query routed to k partitions uploads its 24-byte signature once
+	// and the k batches carry 4-byte indices — collapsing the
+	// fan-out-multiplied H2D query traffic. Defaults to 16×BatchSize;
+	// values below BatchSize are raised to BatchSize (a single batch of
+	// distinct signatures must fit).
+	QueryWindow int
+
+	// DisableQueryWindow turns the query window off: every batch
+	// uploads its signatures densely, as before (ablation).
+	DisableQueryWindow bool
+
 	// BlockDim is the GPU thread-block size for the subset-match kernel.
 	// Defaults to 256.
 	BlockDim int
@@ -273,6 +297,15 @@ func (c *Config) applyDefaults() {
 	if c.StreamsPerDevice <= 0 {
 		c.StreamsPerDevice = 10
 	}
+	if c.StreamDepth <= 0 {
+		c.StreamDepth = 2
+	}
+	if c.QueryWindow <= 0 {
+		c.QueryWindow = 16 * c.BatchSize
+	}
+	if c.QueryWindow < c.BatchSize {
+		c.QueryWindow = c.BatchSize
+	}
 	if c.BlockDim <= 0 {
 		c.BlockDim = 256
 	}
@@ -336,6 +369,21 @@ type Stats struct {
 	KernelGatePruned    int64 `json:"kernel_gate_pruned"`
 	KernelGroupScans    int64 `json:"kernel_group_scans"`
 	KernelColumnsWalked int64 `json:"kernel_columns_walked"`
+
+	// Pipelined-dispatch counters (mirrors of obs.StreamCounters):
+	// query-window effectiveness and stream-slot overlap.
+	// WindowHits/WindowMisses count batch query slots resolved against
+	// the device ring; H2DQueryBytes/QuerySlots give the mean H2D bytes
+	// per dispatched query slot the window is meant to shrink;
+	// PipelinedDispatches counts batches that overlapped another batch
+	// already in flight on the same stream.
+	WindowHits          int64 `json:"window_hits"`
+	WindowMisses        int64 `json:"window_misses"`
+	WindowEvictions     int64 `json:"window_evictions"`
+	WindowFallbacks     int64 `json:"window_fallbacks"`
+	H2DQueryBytes       int64 `json:"h2d_query_bytes"`
+	QuerySlots          int64 `json:"query_slots"`
+	PipelinedDispatches int64 `json:"pipelined_dispatches"`
 
 	// Fault-tolerance counters (mirrors of obs.FaultCounters): failed
 	// GPU batch attempts, re-dispatches, host re-runs, circuit-breaker

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagmatch/internal/bitvec"
+	"tagmatch/internal/core"
+	"tagmatch/internal/gpu"
+)
+
+// PipelineCell is one measured configuration of the dispatch-pipeline
+// matrix: a stream depth (1 = the synchronous ablation baseline,
+// 2 = even/odd double buffering) crossed with the per-device query
+// window on or off.
+type PipelineCell struct {
+	Config      string `json:"config"` // e.g. "depth2_window_on"
+	StreamDepth int    `json:"stream_depth"`
+	WindowOn    bool   `json:"window_on"`
+
+	QPS              float64 `json:"qps"`
+	KeysPS           float64 `json:"keys_ps"`
+	Keys             int64   `json:"keys"`
+	P50Us            float64 `json:"p50_us"`
+	P99Us            float64 `json:"p99_us"`
+	H2DBytesPerQuery float64 `json:"h2d_bytes_per_query"`
+	OverlapFraction  float64 `json:"overlap_fraction"`
+
+	WindowHits          int64 `json:"window_hits"`
+	WindowMisses        int64 `json:"window_misses"`
+	WindowEvictions     int64 `json:"window_evictions"`
+	WindowFallbacks     int64 `json:"window_fallbacks"`
+	PipelinedDispatches int64 `json:"pipelined_dispatches"`
+}
+
+// PipelineResult is the JSON shape of the pipeline experiment
+// (BENCH_pipeline.json): the depth × window matrix plus the derived
+// metrics the CI gate asserts on. H2DReduction is the headline number
+// — query-payload H2D bytes per submitted query with the window off
+// over with it on, at the pipelined depth (the gate requires >= 2):
+// a query routed to k partitions re-uploads its 24-byte signature k
+// times without the window, but only k 4-byte ring indices with it.
+// ResultsMatch asserts all four cells produced the identical total
+// match output, and ThroughputRatio that the pipelined configuration
+// is no slower than the depth-1 dense-upload baseline.
+type PipelineResult struct {
+	Cells []PipelineCell `json:"cells"`
+
+	H2DReduction    float64 `json:"h2d_reduction"`
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	OverlapGain     float64 `json:"overlap_gain"`
+	P99Ratio        float64 `json:"p99_ratio"`
+	ResultsMatch    bool    `json:"pipeline_results_match"`
+
+	Queries         int   `json:"queries"`
+	DistinctQueries int   `json:"distinct_queries"`
+	PipelinedDepth  int   `json:"pipelined_depth"`
+	WindowCapacity  int   `json:"window_capacity"`
+	GPUs            int   `json:"gpus"`
+	Threads         int   `json:"threads"`
+	Seed            int64 `json:"seed"`
+}
+
+// pipelineInflight bounds the closed measurement loop: deep enough to
+// keep every stream slot of every device busy, shallow enough that the
+// latency percentiles measure service time plus bounded queueing
+// rather than an arbitrary backlog. pipelineBatchTimeout turns the
+// batch flusher on — a bounded closed loop leaves the last partial
+// batches waiting for traffic that cannot arrive until they complete,
+// so they must age out on the timeout.
+const (
+	pipelineInflight     = 64
+	pipelineBatchTimeout = time.Millisecond
+)
+
+// Pipeline measures what the double-buffered stream slots and the
+// per-device query window buy on the dispatch hot path (the copy tax
+// of §3.2's stream pipeline, paper Fig. 5): the same query stream runs
+// through the 2x2 matrix of stream depth {1, pipelined} × query window
+// {off, on}, and each cell records throughput, latency percentiles,
+// query-payload H2D bytes per submitted query, and the device
+// copy/compute overlap fraction.
+//
+// The query stream cycles a fixed set of distinct signatures — the
+// recurring-subscriber shape the window exploits — so after the first
+// cycle the window-on cells run at steady-state hit rate and the
+// bytes-per-query gap is the 24-byte signature vs the 4-byte ring
+// index, times the per-query partition fan-out.
+func Pipeline(p Params) (*Table, *PipelineResult) {
+	ds := BuildDataset(p)
+	sigs, keys := ds.Slice(0.5)
+
+	distinct := min(p.Queries, 2048)
+	if distinct < 1 {
+		distinct = 1
+	}
+	queries := ds.Queries(distinct, 0.5, -1, p.Seed+5000)
+
+	depth := p.StreamDepth
+	if depth < 2 {
+		depth = 2
+	}
+
+	r := &PipelineResult{
+		Queries:         p.Queries,
+		DistinctQueries: distinct,
+		PipelinedDepth:  depth,
+		GPUs:            p.GPUs,
+		Threads:         p.Threads,
+		Seed:            p.Seed,
+	}
+
+	cells := []struct {
+		depth    int
+		windowOn bool
+	}{
+		{1, false}, // synchronous dense-upload baseline (the ablation)
+		{1, true},
+		{depth, false},
+		{depth, true}, // the shipping configuration
+	}
+	for _, c := range cells {
+		cell, winCap := runPipelineCell(p, sigs, keys, queries, c.depth, c.windowOn)
+		if c.windowOn && winCap > r.WindowCapacity {
+			r.WindowCapacity = winCap
+		}
+		r.Cells = append(r.Cells, cell)
+	}
+
+	base := &r.Cells[0]    // depth 1, window off
+	denseD := &r.Cells[2]  // pipelined depth, window off
+	windowD := &r.Cells[3] // pipelined depth, window on
+	if windowD.H2DBytesPerQuery > 0 {
+		r.H2DReduction = denseD.H2DBytesPerQuery / windowD.H2DBytesPerQuery
+	}
+	if base.QPS > 0 {
+		r.ThroughputRatio = windowD.QPS / base.QPS
+	}
+	r.OverlapGain = windowD.OverlapFraction - base.OverlapFraction
+	if base.P99Us > 0 {
+		r.P99Ratio = windowD.P99Us / base.P99Us
+	}
+	r.ResultsMatch = true
+	for _, c := range r.Cells[1:] {
+		if c.Keys != base.Keys {
+			r.ResultsMatch = false
+		}
+	}
+
+	t := &Table{
+		ID:    "pipeline",
+		Title: "Dispatch pipeline: stream depth x query window",
+		Cols:  []string{"qps", "keys/s", "h2d B/query", "overlap", "p99 ms"},
+	}
+	for _, c := range r.Cells {
+		t.Add(c.Config, c.QPS, c.KeysPS, c.H2DBytesPerQuery, c.OverlapFraction, c.P99Us/1e3)
+	}
+	t.Note("h2d bytes/query reduction (window off vs on, depth %d): %.1fx", depth, r.H2DReduction)
+	t.Note("throughput ratio (depth %d + window vs depth 1 dense): %.2f; overlap gain %.3f; p99 ratio %.2f",
+		depth, r.ThroughputRatio, r.OverlapGain, r.P99Ratio)
+	t.Note("window hits=%d misses=%d evictions=%d fallbacks=%d; pipelined dispatches=%d",
+		windowD.WindowHits, windowD.WindowMisses, windowD.WindowEvictions,
+		windowD.WindowFallbacks, windowD.PipelinedDispatches)
+	if r.ResultsMatch {
+		t.Note("exactness: all four cells matched %d keys", base.Keys)
+	} else {
+		t.Note("EXACTNESS VIOLATION: per-cell keys %v", cellKeys(r.Cells))
+	}
+	return t, r
+}
+
+func cellKeys(cells []PipelineCell) []int64 {
+	out := make([]int64, len(cells))
+	for i, c := range cells {
+		out[i] = c.Keys
+	}
+	return out
+}
+
+// runPipelineCell builds an engine at one (depth, window) point, runs a
+// full warmup cycle over the distinct query set (filling the window so
+// the measured pass sees the steady state), and then drives the paced
+// closed loop recording per-query latency and the stream-counter
+// deltas. Returns the cell and the engine's effective window capacity.
+func runPipelineCell(p Params, sigs []bitvec.Vector, keys []core.Key, queries []bitvec.Vector, depth int, windowOn bool) (PipelineCell, int) {
+	var winCap int
+	eng, devs, err := BuildEngine(EngineSpec{
+		Sigs: sigs, Keys: keys, Threads: p.Threads, GPUs: p.GPUs,
+		Mutate: func(cfg *core.Config) {
+			cfg.BatchTimeout = pipelineBatchTimeout
+			cfg.StreamDepth = depth
+			cfg.DisableQueryWindow = !windowOn
+			if p.QueryWindow > 0 {
+				cfg.QueryWindow = p.QueryWindow
+			}
+			// Mirror applyDefaults so the result can echo the ring size.
+			winCap = cfg.QueryWindow
+			if winCap <= 0 {
+				winCap = 16 * cfg.BatchSize
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		eng.Close()
+		closeDevices(devs)
+	}()
+
+	// One full cycle over the distinct set as warmup: allocator and
+	// scheduler transients settle, and with the window on every
+	// signature is resident before the clock starts.
+	var warmWg sync.WaitGroup
+	warmWg.Add(len(queries))
+	for _, q := range queries {
+		if err := eng.SubmitSignature(q, false, func(core.MatchResult) {
+			warmWg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	eng.Drain()
+	warmWg.Wait()
+
+	st0 := eng.Stats()
+	over0 := make([]gpu.OverlapStats, len(devs))
+	for i, d := range devs {
+		over0[i] = d.OverlapStats()
+	}
+
+	n := p.Queries
+	sem := make(chan struct{}, pipelineInflight)
+	lat := make([]time.Duration, n)
+	starts := make([]time.Time, n)
+	var matched int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	begin := time.Now()
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		i := i
+		starts[i] = time.Now()
+		if err := eng.SubmitSignature(queries[i%len(queries)], false, func(res core.MatchResult) {
+			lat[i] = time.Since(starts[i])
+			atomic.AddInt64(&matched, int64(len(res.Keys)))
+			<-sem
+			wg.Done()
+		}); err != nil {
+			panic(err)
+		}
+	}
+	eng.Drain()
+	wg.Wait()
+	el := time.Since(begin)
+
+	st1 := eng.Stats()
+	var kernelNs, overlapNs int64
+	for i, d := range devs {
+		ov := d.OverlapStats()
+		kernelNs += ov.KernelNs - over0[i].KernelNs
+		overlapNs += ov.OverlapNs - over0[i].OverlapNs
+	}
+
+	cell := PipelineCell{
+		Config:      fmt.Sprintf("depth%d_window_%s", depth, onOff(windowOn)),
+		StreamDepth: depth,
+		WindowOn:    windowOn,
+
+		QPS:    float64(n) / el.Seconds(),
+		KeysPS: float64(matched) / el.Seconds(),
+		Keys:   matched,
+		P50Us:  quantileUs(lat, 0.50),
+		P99Us:  quantileUs(lat, 0.99),
+
+		WindowHits:          st1.WindowHits - st0.WindowHits,
+		WindowMisses:        st1.WindowMisses - st0.WindowMisses,
+		WindowEvictions:     st1.WindowEvictions - st0.WindowEvictions,
+		WindowFallbacks:     st1.WindowFallbacks - st0.WindowFallbacks,
+		PipelinedDispatches: st1.PipelinedDispatches - st0.PipelinedDispatches,
+	}
+	cell.H2DBytesPerQuery = float64(st1.H2DQueryBytes-st0.H2DQueryBytes) / float64(n)
+	if kernelNs > 0 {
+		cell.OverlapFraction = float64(overlapNs) / float64(kernelNs)
+	}
+	return cell, winCap
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *PipelineResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -332,12 +332,37 @@ func (b *BlockCtx) LaunchNested(grid Grid, kernel KernelFunc) {
 // engine — and injected fault errors under an active FaultPlan. site
 // identifies the issuing stream for the op-record telemetry.
 func (d *Device) launch(grid Grid, kernel KernelFunc, site opSite) error {
+	return d.launchZeroed(grid, kernel, nil, 0, site)
+}
+
+// launchZeroed is launch with an optional fused device-side reset: when
+// zero is non-nil, its first zeroWords words are cleared after the
+// fault/closed checks and before the blocks dispatch, inside the same
+// recorded operation. This is how the per-batch result-header reset is
+// folded into the kernel launch instead of costing a separate H2D copy.
+// The previous launch on this stream has fully completed (the executor
+// is serial), so plain-looking stores suffice; they are issued as
+// atomic stores because the dispatched blocks update the same words
+// with atomics.
+func (d *Device) launchZeroed(grid Grid, kernel KernelFunc, zero *Buffer[uint32], zeroWords int, site opSite) error {
 	slow, err := d.opCheck(opLaunch, d.cfg.Cost.LaunchOverhead)
 	if err != nil {
 		return err
 	}
 	if d.closed.Load() {
 		return ErrDeviceClosed
+	}
+	if zero != nil {
+		if zero.freed {
+			return fmt.Errorf("gpu: fused reset on freed buffer")
+		}
+		if zeroWords < 0 || zeroWords > len(zero.data) {
+			return fmt.Errorf("gpu: fused reset out of range: %d > len %d",
+				zeroWords, len(zero.data))
+		}
+		for i := 0; i < zeroWords; i++ {
+			atomic.StoreUint32(&zero.data[i], 0)
+		}
 	}
 	d.kernelLaunches.Add(1)
 	start := d.opBegin(OpKernel)

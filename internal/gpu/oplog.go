@@ -61,6 +61,12 @@ type OpRecord struct {
 	Enqueue time.Time `json:"enqueue"`
 	Start   time.Time `json:"start"`
 	End     time.Time `json:"end"`
+
+	// Tag is the issuer-provided attribution handle passed to the
+	// enqueue call (the engine tags each op with its stream slot so a
+	// pipelined stream's interleaved batches stay distinguishable). It
+	// is delivered to the OnOp observer and never serialized.
+	Tag any `json:"-"`
 }
 
 // KindName returns the operation kind as a stable string ("h2d", "d2h",
@@ -75,12 +81,14 @@ func (r OpRecord) Service() time.Duration { return r.End.Sub(r.Start) }
 
 // opSite carries the issuing context of a device operation down into
 // the buffer/launch internals: the stream id (or -1), the stream
-// enqueue timestamp (zero for synchronous calls), and the stream's
-// op observer, invoked with the completed record.
+// enqueue timestamp (zero for synchronous calls), the stream's op
+// observer, invoked with the completed record, and the issuer's
+// attribution tag.
 type opSite struct {
 	stream  int
 	enqueue time.Time
 	observe func(OpRecord)
+	tag     any
 }
 
 // directSite is the opSite of synchronous host calls.
@@ -160,6 +168,7 @@ func (d *Device) opDone(kind OpKind, site opSite, bytes int64, blocks int, start
 		Enqueue: enq,
 		Start:   start,
 		End:     now,
+		Tag:     site.tag,
 	}
 	o := &d.rec
 	o.mu.Lock()

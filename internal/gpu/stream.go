@@ -38,11 +38,23 @@ type Stream struct {
 	segErr error
 }
 
-// OpenStream opens a new stream on the device. It fails with
-// ErrTooManyStreams when MaxStreams streams are already open — the
-// paper's platform capped at 10 streams per GPU, and that cap shapes the
-// thread-scalability results (Fig 5).
+// OpenStream opens a new stream on the device with the default
+// operation FIFO depth. It fails with ErrTooManyStreams when MaxStreams
+// streams are already open — the paper's platform capped at 10 streams
+// per GPU, and that cap shapes the thread-scalability results (Fig 5).
 func (d *Device) OpenStream() (*Stream, error) {
+	return d.OpenStreamBuffered(64)
+}
+
+// OpenStreamBuffered opens a stream whose operation FIFO holds up to
+// opsBuf pending operations before enqueues block. Pipelined dispatch
+// (several double-buffered batches in flight per stream) sizes this
+// from its slot depth so a deep enqueue burst cannot stall a dispatcher
+// against a full FIFO. Values below the default of 64 are rounded up.
+func (d *Device) OpenStreamBuffered(opsBuf int) (*Stream, error) {
+	if opsBuf < 64 {
+		opsBuf = 64
+	}
 	d.streams.Lock()
 	if d.streams.open >= d.cfg.MaxStreams {
 		d.streams.Unlock()
@@ -54,7 +66,7 @@ func (d *Device) OpenStream() (*Stream, error) {
 	s := &Stream{
 		dev: d,
 		id:  int(d.streamSeq.Add(1)) - 1,
-		ops: make(chan func(), 64),
+		ops: make(chan func(), opsBuf),
 	}
 	s.done.Add(1)
 	go s.run()
@@ -69,9 +81,15 @@ func (s *Stream) ID() int { return s.id }
 // Install it before the first enqueue; it must not block.
 func (s *Stream) OnOp(fn func(OpRecord)) { s.observe = fn }
 
-// site returns the opSite of an operation being enqueued now.
-func (s *Stream) site() opSite {
-	return opSite{stream: s.id, enqueue: time.Now(), observe: s.observe}
+// site returns the opSite of an operation being enqueued now. tag is
+// the optional trailing attribution value of the enqueue call; only the
+// first element is used.
+func (s *Stream) site(tag []any) opSite {
+	st := opSite{stream: s.id, enqueue: time.Now(), observe: s.observe}
+	if len(tag) > 0 {
+		st.tag = tag[0]
+	}
+	return st
 }
 
 func (s *Stream) run() {
@@ -105,9 +123,10 @@ func (s *Stream) QueueDepth() int { return len(s.ops) }
 // CopyToDeviceAsync enqueues an H2D copy of src into buf at dstOff.
 // The src slice must not be modified until the operation completes
 // (Synchronize, or a later Callback). A failed copy puts the stream into
-// an error state; see CallbackErr.
-func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T) {
-	site := s.site()
+// an error state; see CallbackErr. The optional trailing tag is carried
+// on the resulting OpRecord for the OnOp observer.
+func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T, tag ...any) {
+	site := s.site(tag)
 	s.ops <- func() {
 		if s.segErr != nil {
 			return
@@ -118,10 +137,36 @@ func CopyToDeviceAsync[T any](s *Stream, buf *Buffer[T], dstOff int, src []T) {
 
 // CopyFromDeviceAsync enqueues a D2H copy of buf[srcOff:srcOff+len(dst)]
 // into dst.
-func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) {
-	site := s.site()
+func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int, tag ...any) {
+	site := s.site(tag)
 	s.ops <- func() {
 		if s.segErr != nil {
+			return
+		}
+		s.segErr = buf.copyFromDevice(dst, srcOff, site)
+	}
+}
+
+// CopyFromDeviceGated enqueues a D2H copy whose destination is resolved
+// only when the operation reaches the head of the FIFO: gate runs on
+// the executor goroutine after every previously enqueued operation
+// (typically the kernel that produced the data and the callback that
+// read its result header) has completed, and returns the destination
+// slice plus source offset. A nil destination skips the copy entirely —
+// no operation is recorded and no bus cost is paid — which is how the
+// pipelined dispatch path elides the transfer for empty or overflowed
+// batches. This is the exact-size, header-gated result copy of the
+// paper's double-buffered cycle (§3.3.2): the size rides along with the
+// previous operations of the same stream instead of forcing a
+// synchronous round trip.
+func CopyFromDeviceGated[T any](s *Stream, buf *Buffer[T], gate func() (dst []T, srcOff int), tag ...any) {
+	site := s.site(tag)
+	s.ops <- func() {
+		if s.segErr != nil {
+			return
+		}
+		dst, srcOff := gate()
+		if dst == nil {
 			return
 		}
 		s.segErr = buf.copyFromDevice(dst, srcOff, site)
@@ -131,24 +176,40 @@ func CopyFromDeviceAsync[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) 
 // CopyFromDeviceNow synchronously copies like Buffer.CopyFromDevice but
 // attributes the operation to the stream. It is for copies issued from
 // inside a stream callback: those run on the stream's executor
-// goroutine without passing through its FIFO (the result-transfer
-// pattern of TagMatch's double buffering), so a plain CopyFromDevice
-// would record them as anonymous direct operations and the stream's
-// OnOp observer would never see them.
-func CopyFromDeviceNow[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int) error {
-	return buf.copyFromDevice(dst, srcOff, opSite{stream: s.id, enqueue: time.Now(), observe: s.observe})
+// goroutine without passing through its FIFO (the size-then-copy
+// ablation path), so a plain CopyFromDevice would record them as
+// anonymous direct operations and the stream's OnOp observer would
+// never see them.
+func CopyFromDeviceNow[T any](s *Stream, buf *Buffer[T], dst []T, srcOff int, tag ...any) error {
+	return buf.copyFromDevice(dst, srcOff, s.site(tag))
 }
 
 // LaunchAsync enqueues a kernel launch. The stream executor blocks until
 // the kernel completes before starting the next operation in this stream,
 // while other streams keep running — the overlap TagMatch exploits.
-func (s *Stream) LaunchAsync(grid Grid, kernel KernelFunc) {
-	site := s.site()
+func (s *Stream) LaunchAsync(grid Grid, kernel KernelFunc, tag ...any) {
+	site := s.site(tag)
 	s.ops <- func() {
 		if s.segErr != nil {
 			return
 		}
 		s.segErr = s.dev.launch(grid, kernel, site)
+	}
+}
+
+// LaunchZeroedAsync enqueues a kernel launch fused with a device-side
+// reset: the first zeroWords words of zero are cleared immediately
+// before the grid is dispatched, inside the same operation. This folds
+// the per-batch result-header reset into the launch — the analogue of a
+// cudaMemsetAsync fused into the kernel prologue — saving the separate
+// H2D copy (and its per-op bus overhead) the reset used to cost.
+func (s *Stream) LaunchZeroedAsync(grid Grid, zero *Buffer[uint32], zeroWords int, kernel KernelFunc, tag ...any) {
+	site := s.site(tag)
+	s.ops <- func() {
+		if s.segErr != nil {
+			return
+		}
+		s.segErr = s.dev.launchZeroed(grid, kernel, zero, zeroWords, site)
 	}
 }
 

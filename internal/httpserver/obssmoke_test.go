@@ -55,6 +55,11 @@ func TestObsSmoke(t *testing.T) {
 			"tagmatch_gpu_op_duration_seconds",
 			"tagmatch_queue_wait_seconds",
 			"tagmatch_stage_duration_seconds",
+			"tagmatch_query_window_lookups_total",
+			"tagmatch_h2d_query_bytes_per_query",
+			"tagmatch_stream_slot_occupancy",
+			"tagmatch_pipelined_dispatches_total",
+			"tagmatch_pipeline_overlap_fraction",
 		} {
 			if !families[want] {
 				t.Errorf("metric family %q missing from /metrics", want)
@@ -131,6 +136,27 @@ func TestObsSmoke(t *testing.T) {
 		}
 		if len(ds.Obs.Exemplars) == 0 {
 			t.Error("no latency exemplars in /debug/stats")
+		}
+	})
+
+	t.Run("streams", func(t *testing.T) {
+		var ds DebugStats
+		if err := json.Unmarshal([]byte(get(t, srv.URL+"/debug/stats")), &ds); err != nil {
+			t.Fatalf("/debug/stats is not valid JSON: %v", err)
+		}
+		// The window is on by default, so every dispatched batch resolved
+		// its query slots through it (hit or miss), and the H2D
+		// byte/slot accounting must have moved.
+		if ds.Stats.WindowHits+ds.Stats.WindowMisses == 0 {
+			t.Error("no query-window lookups recorded in /debug/stats")
+		}
+		if ds.Stats.QuerySlots == 0 || ds.Stats.H2DQueryBytes == 0 {
+			t.Errorf("stream byte accounting empty: slots=%d bytes=%d",
+				ds.Stats.QuerySlots, ds.Stats.H2DQueryBytes)
+		}
+		if ds.Obs.Streams.QuerySlots != ds.Stats.QuerySlots {
+			t.Errorf("obs snapshot (%d) and stats mirror (%d) disagree on query slots",
+				ds.Obs.Streams.QuerySlots, ds.Stats.QuerySlots)
 		}
 	})
 }

@@ -104,6 +104,11 @@ type Pipeline struct {
 	// scan. Always recorded, like Faults; see KernelCounters.
 	Kernel KernelCounters
 
+	// Streams counts pipelined-dispatch activity: query-window
+	// hits/misses, H2D query bytes, and stream slot occupancy. Always
+	// recorded, like Faults; see StreamCounters.
+	Streams StreamCounters
+
 	// Tracer samples per-query traces.
 	Tracer *Tracer
 
@@ -211,6 +216,7 @@ type Snapshot struct {
 	Faults         FaultSnapshot          `json:"faults"`
 	Routing        RoutingSnapshot        `json:"routing"`
 	Kernel         KernelSnapshot         `json:"kernel"`
+	Streams        StreamSnapshot         `json:"streams"`
 	Gauges         map[string]float64     `json:"gauges,omitempty"`
 	Attribution    []AttributionComponent `json:"attribution,omitempty"`
 	Exemplars      []Exemplar             `json:"exemplars,omitempty"`
@@ -252,6 +258,7 @@ func (p *Pipeline) Snapshot(includeAllPartitions bool) Snapshot {
 		Faults:         p.Faults.Snapshot(),
 		Routing:        p.Routing.Snapshot(),
 		Kernel:         p.Kernel.Snapshot(),
+		Streams:        p.Streams.Snapshot(),
 		Attribution:    p.Attribution(),
 		Exemplars:      p.Tracer.Exemplars(),
 		HotPartitions:  p.Parts.Hottest(p.topPartitions),
@@ -323,6 +330,7 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 	p.Faults.writeProm(w)
 	p.Routing.writeProm(w)
 	p.Kernel.writeProm(w)
+	p.Streams.writeProm(w)
 
 	p.gaugeMu.Lock()
 	gauges := append([]gauge(nil), p.gauges...)

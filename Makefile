@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke bench-tail bench-tail-smoke bench-pipeline bench-pipeline-smoke obs-smoke obsdiff-gate clean
+.PHONY: check build vet test race chaos bench-smoke bench-obs bench-hotpath bench-chaos bench-preprocess bench-preprocess-smoke bench-kernel bench-kernel-smoke bench-tail bench-tail-smoke bench-pipeline bench-pipeline-smoke bench-churn bench-churn-smoke obs-smoke obsdiff-gate clean
 
 ## check: full CI gate — vet, build, tests, race detector on the
 ## concurrency-heavy packages, the chaos (fault-injection) suite, a
@@ -10,7 +10,7 @@ GO ?= go
 ## reduced-scale smoke runs of the routing, match-kernel, tail-latency,
 ## and dispatch-pipeline experiments, the observability export smoke
 ## test, and the perf budgets on checked-in baselines.
-check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke bench-tail-smoke bench-pipeline-smoke obs-smoke obsdiff-gate
+check: vet build test race chaos bench-smoke bench-preprocess-smoke bench-kernel-smoke bench-tail-smoke bench-pipeline-smoke bench-churn-smoke obs-smoke obsdiff-gate
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ race:
 ## propagation, hedged re-dispatch, and snapshot-restore parity must all
 ## hold with -race on.
 chaos:
-	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded|TestStraggler|TestDeadline|TestHedge|TestMatchCtx|TestSnapshotRestore|TestMatchTimeout|TestPipelined|TestQueryWindow|TestStreamDepth' \
+	$(GO) test -race -run 'TestFaultPlan|TestStreamSegmentError|TestKill|TestChaos|TestQuarantine|TestConsolidateOOM|TestSubmit|TestMaxInFlight|TestMatchOverloaded|TestServeGraceful|TestConsolidateDegraded|TestStraggler|TestDeadline|TestHedge|TestMatchCtx|TestSnapshotRestore|TestMatchTimeout|TestPipelined|TestQueryWindow|TestStreamDepth|TestDelta' \
 		./internal/gpu/ ./internal/core/ ./internal/httpserver/
 
 ## bench-smoke: quick -benchmem pass over the hot-path benchmarks so a
@@ -109,6 +109,21 @@ bench-pipeline:
 bench-pipeline-smoke:
 	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files pipeline
 
+## bench-churn: measure live updates through the delta overlay — query
+## throughput under churn with background consolidation vs the no-churn
+## baseline and the stop-the-world ablation, update-visibility latency,
+## swap-pause percentiles, and overlay/oracle parity — and write
+## BENCH_churn.json (qps ratio >= 0.9, pause p99 >= 5x better than
+## stop-the-world, gated by obsdiff-gate).
+bench-churn:
+	$(GO) run ./cmd/tagmatch-bench churn
+
+## bench-churn-smoke: the same experiment at reduced scale as a CI
+## gate; -no-bench-files keeps the small-scale numbers from overwriting
+## the committed BENCH_churn.json.
+bench-churn-smoke:
+	$(GO) run ./cmd/tagmatch-bench -scale 0.0005 -queries 4000 -no-bench-files churn
+
 ## obs-smoke: boot a server, push traffic, and assert the export
 ## surfaces are well-formed — /metrics parses as Prometheus exposition
 ## (with the GPU overlap/utilization/op-latency families), /debug/timeline
@@ -137,7 +152,11 @@ obsdiff-gate:
 	$(GO) run ./cmd/tagmatch-obsdiff \
 		-assert 'h2d_reduction>=2' -assert 'pipeline_results_match>=1' \
 		-assert 'throughput_ratio>=0.9' BENCH_pipeline.json
+	$(GO) run ./cmd/tagmatch-obsdiff \
+		-assert 'churn_results_match>=1' -assert 'qps_ratio>=0.9' \
+		-assert 'pause_improvement>=5' -assert 'swap_pause_p99_ms<=250' \
+		-assert 'visibility_p99_ms<=250' BENCH_churn.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json BENCH_tail.json BENCH_pipeline.json
+	rm -f BENCH_obs.json BENCH_hotpath.json BENCH_chaos.json BENCH_preprocess.json BENCH_kernel.json BENCH_tail.json BENCH_pipeline.json BENCH_churn.json
 	rm -rf results

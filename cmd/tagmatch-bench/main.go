@@ -18,8 +18,11 @@
 // (bit-sliced vs. scalar subset-match kernel, also written to
 // BENCH_kernel.json), tail (query-latency percentiles with and
 // without hedged re-dispatch under injected stragglers, also written
-// to BENCH_tail.json), and pipeline (stream depth x query window
-// dispatch matrix, also written to BENCH_pipeline.json).
+// to BENCH_tail.json), pipeline (stream depth x query window
+// dispatch matrix, also written to BENCH_pipeline.json), and churn
+// (live updates through the delta overlay with background
+// consolidation vs the stop-the-world ablation, also written to
+// BENCH_churn.json).
 //
 // Text-format output is also teed to results/results_scale<scale>.txt
 // (gitignored) so run transcripts accumulate outside the repo root.
@@ -133,7 +136,7 @@ func allNames() []string {
 		"table1", "table3", "fig2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "families",
 		"ablation-pipeline", "ablation-gpuonly", "obs-overhead", "hotpath",
-		"chaos", "preprocess", "kernel", "tail", "pipeline",
+		"chaos", "preprocess", "kernel", "tail", "pipeline", "churn",
 	}
 }
 
@@ -219,6 +222,14 @@ func runOne(out io.Writer, name string, p experiments.Params, format string) {
 		// bytes per query) and the four-cell exactness check are
 		// tracked across commits.
 		writeBenchFile("BENCH_pipeline.json", r)
+	case "churn":
+		t, r := experiments.Churn(p)
+		tables = append(tables, t)
+		// Live-update numbers land in BENCH_churn.json so the cost of
+		// churn (acceptance bar: >= 0.9x no-churn qps), the swap-pause
+		// win (>= 5x smaller than stop-the-world), and overlay/oracle
+		// parity are tracked across commits.
+		writeBenchFile("BENCH_churn.json", r)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, allNames())
 		os.Exit(2)

@@ -3,10 +3,17 @@
 // consolidates, then streams tweet queries from concurrent clients and
 // reports end-to-end service throughput and latency.
 //
+// With -churn-rate set, a churn client runs alongside the query phase,
+// streaming live updates through POST /sets and DELETE /sets at the
+// requested rate; -churn-ratio picks the fraction of those that are
+// removes of previously churned associations. This exercises the
+// server's delta overlay and background consolidation under load.
+//
 // Usage:
 //
 //	tagmatch-server &
 //	tagmatch-loadgen -server http://localhost:8080 -users 20000 -queries 5000 -clients 4
+//	tagmatch-loadgen -churn-rate 500 -churn-ratio 0.5   # live updates during queries
 package main
 
 import (
@@ -33,6 +40,10 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent query clients")
 	seed := flag.Int64("seed", 42, "workload seed")
 	unique := flag.Bool("unique", true, "use match-unique (vs match)")
+	churnRate := flag.Float64("churn-rate", 0,
+		"live updates per second streamed during the query phase (0 = none)")
+	churnRatio := flag.Float64("churn-ratio", 0.5,
+		"fraction of churn ops that remove a previously churned association")
 	flag.Parse()
 
 	gen, err := workload.New(workload.NewConfig(*users, *seed))
@@ -80,6 +91,69 @@ func main() {
 	}
 	log.Printf("consolidated: %d sets, %d partitions (%s)", cons.Sets, cons.Partitions, cons.Elapsed)
 
+	// Optional churn client: streams live adds and removes through the
+	// REST live-update endpoints for the duration of the query phase.
+	doSet := func(method string, req httpserver.SetRequest) error {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		hreq, err := http.NewRequest(method, *server+"/sets", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(hreq)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s /sets: HTTP %d", method, resp.StatusCode)
+		}
+		return nil
+	}
+	churnStop := make(chan struct{})
+	var churnOps int64
+	var churnWG sync.WaitGroup
+	if *churnRate > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			rng := rand.New(rand.NewSource(*seed + 7919))
+			tick := time.NewTicker(time.Duration(float64(time.Second) / *churnRate))
+			defer tick.Stop()
+			next := tagmatch.Key(10_000_000)
+			var pool []httpserver.SetRequest
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				if len(pool) > 0 && rng.Float64() < *churnRatio {
+					i := rng.Intn(len(pool))
+					if err := doSet(http.MethodDelete, pool[i]); err != nil {
+						log.Fatal(err)
+					}
+					pool[i] = pool[len(pool)-1]
+					pool = pool[:len(pool)-1]
+				} else {
+					req := httpserver.SetRequest{
+						Tags: sample[rng.Intn(len(sample))].Tags,
+						Key:  next,
+					}
+					next++
+					if err := doSet(http.MethodPost, req); err != nil {
+						log.Fatal(err)
+					}
+					pool = append(pool, req)
+				}
+				churnOps++
+			}
+		}()
+	}
+
 	// Phase 2: stream queries from concurrent clients.
 	endpoint := "/match"
 	if *unique {
@@ -112,9 +186,15 @@ func main() {
 	}
 	wg.Wait()
 	el := time.Since(qStart)
+	close(churnStop)
+	churnWG.Wait()
 	total := per * *clients
 	s := lat.Summarize()
 	fmt.Printf("%d %s queries from %d clients in %v\n", total, endpoint, *clients, el.Round(time.Millisecond))
+	if *churnRate > 0 {
+		fmt.Printf("churn: %d live updates (%s, remove ratio %.2f)\n",
+			churnOps, metrics.FmtRate(float64(churnOps)/el.Seconds()), *churnRatio)
+	}
 	fmt.Printf("throughput: %s, fan-out %s\n",
 		metrics.FmtRate(float64(total)/el.Seconds()),
 		metrics.FmtRate(float64(delivered)/el.Seconds()))

@@ -3,9 +3,16 @@
 // a full-fledged messaging system", the paper's future-work direction).
 //
 // Endpoints (JSON): POST /add, /remove, /consolidate, /match,
-// /match-unique; GET /stats, /debug/stats, /metrics (Prometheus text
-// format), /healthz. See internal/httpserver for the request/response
-// shapes and the metric catalogue.
+// /match-unique, POST/DELETE /sets (live-update aliases of add/remove);
+// GET /stats, /debug/stats, /metrics (Prometheus text format),
+// /healthz. See internal/httpserver for the request/response shapes and
+// the metric catalogue.
+//
+// Updates are live by default: an added set matches on the very next
+// query and a removed one disappears immediately, with a background
+// consolidator folding the delta overlay into the GPU index once it
+// outgrows -delta-max-sets / -delta-max-ratio. -no-live-updates reverts
+// to the batch contract (updates invisible until POST /consolidate).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight HTTP requests finish (bounded by -shutdown-timeout),
@@ -17,6 +24,8 @@
 //
 //	tagmatch-server [-addr :8080] [-gpus 2] [-threads 4] [-exact]
 //	                [-max-inflight 0] [-shutdown-timeout 10s]
+//	                [-delta-max-sets 4096] [-delta-max-ratio 0.25]
+//	                [-no-live-updates]
 //	                [-trace 1000] [-stats-log 30s] [-pprof]
 package main
 
@@ -47,6 +56,12 @@ func main() {
 		"max submitted-but-incomplete queries before /match sheds with 503 (0 = unbounded)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight HTTP requests on SIGINT/SIGTERM")
+	deltaMaxSets := flag.Int("delta-max-sets", 0,
+		"overlay entries triggering background consolidation (0 = default 4096)")
+	deltaMaxRatio := flag.Float64("delta-max-ratio", 0,
+		"overlay-to-index ratio triggering background consolidation (0 = default 0.25)")
+	noLiveUpdates := flag.Bool("no-live-updates", false,
+		"disable the delta overlay: updates take effect only at POST /consolidate")
 	trace := flag.Int("trace", 0, "sample one query in N for full pipeline tracing (0 = off)")
 	statsLog := flag.Duration("stats-log", 30*time.Second,
 		"interval between stats log lines (0 = off)")
@@ -55,13 +70,16 @@ func main() {
 	flag.Parse()
 
 	eng, err := tagmatch.New(tagmatch.Config{
-		GPUs:         *gpus,
-		Threads:      *threads,
-		BatchTimeout: 50 * time.Millisecond,
-		MaxInFlight:  *maxInflight,
-		ExactVerify:  *exact,
-		TraceEvery:   *trace,
-		Logger:       slog.Default(),
+		GPUs:               *gpus,
+		Threads:            *threads,
+		BatchTimeout:       50 * time.Millisecond,
+		MaxInFlight:        *maxInflight,
+		ExactVerify:        *exact,
+		DeltaMaxSets:       *deltaMaxSets,
+		DeltaMaxRatio:      *deltaMaxRatio,
+		DisableLiveUpdates: *noLiveUpdates,
+		TraceEvery:         *trace,
+		Logger:             slog.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -22,9 +22,16 @@ import (
 //	match(q)                Match / Submit
 //	match-unique(q)         MatchUnique / SubmitUnique
 //
-// Additions and removals are staged and become visible only after
-// Consolidate, which rebuilds the partitioned index offline (Algorithm 1)
-// and uploads the tagset table to the configured devices.
+// Additions and removals are staged in an operation log and, by
+// default, simultaneously absorbed into a match-visible delta overlay
+// (see delta.go): an AddSet is matchable by the very next query, and a
+// RemoveSet suppresses its key immediately, without waiting for a
+// rebuild. A background consolidator folds the overlay into the
+// partitioned main index (Algorithm 1) once it outgrows
+// Config.DeltaMaxSets / Config.DeltaMaxRatio, pausing traffic only for
+// the drain + device-upload swap. Consolidate remains as the explicit
+// synchronous (stop-the-world) form; Config.DisableDeltaOverlay
+// restores the legacy staged-until-Consolidate semantics.
 type Engine struct {
 	cfg Config
 
@@ -33,10 +40,26 @@ type Engine struct {
 	// exclusively across drain + rebuild.
 	submitMu sync.RWMutex
 
-	// stagedMu guards the master database and staging area.
+	// stagedMu guards the master database and staging area. The delta
+	// overlay is updated in the same critical section that appends a
+	// staged op (lock order stagedMu -> delta.mu), keeping overlay and
+	// op log in lockstep.
 	stagedMu sync.Mutex
 	db       map[bitvec.Vector][]dbEntry // consolidated master copy
 	staged   []stagedOp
+
+	// delta is the match-visible overlay over staged; see delta.go.
+	delta delta
+
+	// consolidateMu serializes consolidations (explicit Consolidate vs
+	// the background consolidator); the channels drive the background
+	// goroutine's kick/stop handshake (nil when the overlay is disabled).
+	consolidateMu sync.Mutex
+	consolKick    chan struct{}
+	consolStop    chan struct{}
+	consolDone    chan struct{}
+	swapPauseNs   atomic.Int64 // last background swap pause, nanoseconds
+	incFolds      atomic.Int64 // background folds that took the incremental path
 
 	idx atomic.Pointer[index] // immutable between consolidates; swapped under submitMu
 
@@ -147,9 +170,20 @@ type index struct {
 	devices      []*gpu.Device
 	devBufs      []*gpu.Buffer[bitvec.Vector]
 	devGroupBufs []*gpu.Buffer[bitvec.SlicedGroup] // transposed index per device (nil per entry when sliced kernel disabled)
-	streams      chan *streamSlot                  // replicated mode: shared slot pool
-	devStreams   []chan *streamSlot                // partitioned mode: per-device slot pools
-	allStreams   []*streamCtx
+
+	// devExts/devGrpExts hold the per-device extent buffers appended by
+	// incremental folds: devExts[d][e-1] backs the partitions with
+	// dev==d, ext==e. The base buffers above hold every row uploaded by
+	// the last full build; an incremental swap carries them (and the
+	// streams and windows below) over from the previous generation
+	// untouched and uploads only these extents — the zero-drain pause is
+	// drain + O(delta) copy, never O(database) (see adoptDevices).
+	devExts    [][]*gpu.Buffer[bitvec.Vector]
+	devGrpExts [][]*gpu.Buffer[bitvec.SlicedGroup]
+
+	streams    chan *streamSlot   // replicated mode: shared slot pool
+	devStreams []chan *streamSlot // partitioned mode: per-device slot pools
+	allStreams []*streamCtx
 
 	// windows holds each device's query-signature ring (nil when
 	// Config.DisableQueryWindow turns the window off). The ring lives in
@@ -167,6 +201,35 @@ type index struct {
 	dispatching sync.WaitGroup
 
 	hostBytes int64
+
+	// Incremental-fold bookkeeping (see buildIncrementalIndex). fullSets
+	// is the row count at the last full rebuild; dudRows counts rows
+	// whose key list emptied in place (their signatures still occupy a
+	// kernel lane until the next full rebuild); rowOf maps each
+	// signature to its live row, built lazily by the first incremental
+	// fold and handed forward — under consolidateMu — from generation
+	// to generation.
+	fullSets int
+	dudRows  int
+	rowOf    map[bitvec.Vector]uint32
+
+	// patched overrides the key CSR for rows whose entry list changed in
+	// an incremental fold: the fold aliases the previous generation's
+	// keys/keyOff arrays untouched and records only the changed rows
+	// here, so a fold's cost stays O(delta) instead of an O(rows+keys)
+	// CSR rewrite. The reduce consults it before the CSR (see visit in
+	// reduceBatch); nil after a full rebuild. Bounded by
+	// incrementalEligible — too many patched rows forces a full rebuild
+	// that folds them back into a flat CSR.
+	patched map[uint32]patchedRow
+}
+
+// patchedRow is one row's replacement entry list (see index.patched).
+// tags is parallel to keys and nil unless the engine runs in ExactVerify
+// mode.
+type patchedRow struct {
+	keys []Key
+	tags [][]string
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -205,8 +268,11 @@ var ErrUnknownHedgeMode = errors.New("tagmatch: unknown hedge mode")
 // Consolidate.
 var ErrDeviceDegraded = errors.New("tagmatch: device upload failed, running CPU-only")
 
-// New creates an engine. The engine starts with an empty database; call
-// AddSet then Consolidate before matching.
+// New creates an engine. The engine starts with an empty database; sets
+// staged with AddSet are matchable immediately through the delta
+// overlay, and an explicit Consolidate after a bulk load folds them
+// into the partitioned main index in one rebuild (the background
+// consolidator would otherwise do it in Config.DeltaMaxSets increments).
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -232,6 +298,13 @@ func New(cfg Config) (*Engine, error) {
 	e.idx.Store(&index{pt: &partitionTable{}})
 	e.initHealth()
 	e.registerGauges()
+	e.delta.init()
+	if !cfg.DisableDeltaOverlay {
+		e.consolKick = make(chan struct{}, 1)
+		e.consolStop = make(chan struct{})
+		e.consolDone = make(chan struct{})
+		go e.consolidatorLoop()
+	}
 
 	preWorkers := cfg.Threads / 2
 	if preWorkers < 1 {
@@ -280,6 +353,15 @@ func (e *Engine) registerGauges() {
 	e.obs.RegisterGauge("tagmatch_staged_ops",
 		"Staged add/remove operations awaiting Consolidate.",
 		nil, func() float64 { return float64(e.PendingOps()) })
+	e.obs.RegisterGauge("tagmatch_delta_sets",
+		"Live delta-overlay adds matchable ahead of consolidation.",
+		nil, func() float64 { return float64(e.delta.addsLive.Load()) })
+	e.obs.RegisterGauge("tagmatch_delta_tombstones",
+		"Live tombstones suppressing main-index keys ahead of consolidation.",
+		nil, func() float64 { return float64(e.delta.tombsLive.Load()) })
+	e.obs.RegisterGauge("tagmatch_delta_age_seconds",
+		"Seconds since the delta overlay last became non-empty (0 when empty).",
+		nil, e.delta.ageSeconds)
 	e.obs.RegisterGauge("tagmatch_dirty_partitions",
 		"Partitions with an open (unflushed) batch awaiting a flush visit.",
 		nil, func() float64 {
@@ -379,36 +461,51 @@ func (e *Engine) notifyProgress() {
 	e.drainMu.Unlock()
 }
 
-// AddSet stages the addition of a tag set with an associated key. In
-// ExactVerify mode the original tags are retained so matches can be
+// AddSet stages the addition of a tag set with an associated key. The
+// set is matchable by the next query through the delta overlay (unless
+// Config.DisableDeltaOverlay defers visibility to the next Consolidate).
+// In ExactVerify mode the original tags are retained so matches can be
 // confirmed exactly (Bloom signatures alone admit rare false positives).
 func (e *Engine) AddSet(tags []string, key Key) {
 	op := stagedOp{sig: bloom.Signature(tags), key: key}
 	if e.cfg.ExactVerify {
 		op.tags = append([]string(nil), tags...)
 	}
-	e.stagedMu.Lock()
-	e.staged = append(e.staged, op)
-	e.stagedMu.Unlock()
+	e.stageOp(op)
 }
 
-// AddSignature stages the addition of a pre-computed signature.
+// AddSignature stages the addition of a pre-computed signature, with the
+// same immediate visibility as AddSet.
 func (e *Engine) AddSignature(sig bitvec.Vector, key Key) {
-	e.stagedMu.Lock()
-	e.staged = append(e.staged, stagedOp{sig: sig, key: key})
-	e.stagedMu.Unlock()
+	e.stageOp(stagedOp{sig: sig, key: key})
 }
 
-// RemoveSet stages the removal of one (set, key) association.
+// RemoveSet stages the removal of one (set, key) association; the key
+// stops matching immediately (a tombstone suppresses the main-index
+// entry, or the pending overlay add is cancelled) unless the overlay is
+// disabled.
 func (e *Engine) RemoveSet(tags []string, key Key) {
 	e.RemoveSignature(bloom.Signature(tags), key)
 }
 
-// RemoveSignature stages the removal of one (signature, key) association.
+// RemoveSignature stages the removal of one (signature, key)
+// association, with the same immediate effect as RemoveSet.
 func (e *Engine) RemoveSignature(sig bitvec.Vector, key Key) {
+	e.stageOp(stagedOp{sig: sig, key: key, remove: true})
+}
+
+// stageOp appends one op to the log, absorbs it into the delta overlay
+// in the same critical section, and wakes the background consolidator if
+// the overlay outgrew its threshold.
+func (e *Engine) stageOp(op stagedOp) {
 	e.stagedMu.Lock()
-	e.staged = append(e.staged, stagedOp{sig: sig, key: key, remove: true})
+	e.staged = append(e.staged, op)
+	if !e.cfg.DisableDeltaOverlay {
+		e.delta.absorb(e.db, op)
+		e.obs.Delta.AbsorbedOps.Add(1)
+	}
 	e.stagedMu.Unlock()
+	e.maybeKickConsolidator()
 }
 
 // PendingOps returns the number of staged, unconsolidated operations.
@@ -418,11 +515,15 @@ func (e *Engine) PendingOps() int {
 	return len(e.staged)
 }
 
-// Consolidate applies all staged operations and rebuilds the index: the
-// balanced partitioning of Algorithm 1, lexicographic sorting within
-// partitions, the partition table, the key table, and the device-resident
-// tagset tables. It drains in-flight queries first; new submissions block
-// until the rebuild completes.
+// Consolidate synchronously applies all staged operations and rebuilds
+// the index: the balanced partitioning of Algorithm 1, lexicographic
+// sorting within partitions, the partition table, the key table, and
+// the device-resident tagset tables. It drains in-flight queries first
+// and blocks new submissions for the full rebuild — the stop-the-world
+// form, kept as the explicit bulk-load API and as the ablation baseline
+// for the background consolidator (which runs the same rebuild but
+// pauses traffic only for the drain + device-upload swap; see
+// consolidator.go).
 //
 // If the device upload fails (errors.Is(err, ErrDeviceDegraded), with
 // the underlying cause — e.g. gpu.ErrOutOfMemory — in the chain), the
@@ -432,77 +533,16 @@ func (e *Engine) Consolidate() error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.submitMu.Lock()
-	defer e.submitMu.Unlock()
-
-	// Finish everything routed through the old index.
-	e.flushAll(e.idx.Load())
-	e.awaitDrain()
-
-	start := time.Now()
-
-	e.stagedMu.Lock()
-	for _, op := range e.staged {
-		if op.remove {
-			entries := e.db[op.sig]
-			for i := range entries {
-				if entries[i].key == op.key {
-					entries[i] = entries[len(entries)-1]
-					entries = entries[:len(entries)-1]
-					break
-				}
-			}
-			if len(entries) == 0 {
-				delete(e.db, op.sig)
-			} else {
-				e.db[op.sig] = entries
-			}
-		} else {
-			e.db[op.sig] = append(e.db[op.sig], dbEntry{key: op.key, tags: op.tags})
-		}
-	}
-	e.staged = e.staged[:0]
-	snapshot := make([]bitvec.Vector, 0, len(e.db))
-	entriesBySet := make([][]dbEntry, 0, len(e.db))
-	for sig, entries := range e.db {
-		snapshot = append(snapshot, sig)
-		entriesBySet = append(entriesBySet, entries)
-	}
-	e.stagedMu.Unlock()
-
-	// Release the old index first: its streams and device buffers must
-	// be gone before the new index allocates, or the per-device stream
-	// and memory budgets would be double-counted. The pipeline is
-	// drained and submissions are blocked, so nothing references it.
-	old := e.idx.Load()
-	e.idx.Store(&index{pt: &partitionTable{}})
-	old.release()
-	idx, err := e.buildIndex(snapshot, entriesBySet)
-	if idx == nil {
-		// Leave the empty index in place: the engine stays usable (all
-		// queries match nothing) rather than pointing at freed buffers.
-		return err
-	}
-	e.idx.Store(idx)
-
-	// Fresh per-partition hot-spot counters for the new generation, so
-	// partition ids in the stats always refer to the live index.
-	if e.obs.On {
-		sizes := make([]int, len(idx.parts))
-		for i := range idx.parts {
-			sizes[i] = int(idx.parts[i].n)
-		}
-		e.obs.Parts.Reset(sizes)
-	}
-
-	e.consolidateTime.Store(int64(time.Since(start)))
-	return err
+	return e.consolidateOnce(false, nil)
 }
 
-// buildIndex constructs a fresh index from a database snapshot. When the
-// device upload fails it returns a usable CPU-only index together with
-// an ErrDeviceDegraded-wrapped error (both non-nil).
-func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*index, error) {
+// buildHostIndex constructs the host-side half of a fresh index from a
+// database snapshot: partitioning, sorted flat table, transposed mirror,
+// key table, partition table. It touches no device state, so the
+// background consolidator can run it while the previous index still
+// holds every device's memory; attachDevices completes the index inside
+// the swap's critical section.
+func (e *Engine) buildHostIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) *index {
 	var specs []partitionSpec
 	if e.cfg.FirstFitPartitioning {
 		specs = firstFitPartition(sigs, e.cfg.MaxPartitionSize)
@@ -511,8 +551,17 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 	}
 
 	idx := &index{devices: e.cfg.Devices}
-	idx.sets = make([]bitvec.Vector, 0, len(sigs))
-	idx.keyOff = make([]uint32, 1, len(sigs)+1)
+	// The row and group arrays carry ~12% slack so incremental folds can
+	// append new partitions in place (buildIncrementalIndex aliases these
+	// arrays rather than copying them); once the slack is gone, append's
+	// own growth re-establishes headroom for the folds that follow.
+	idx.sets = make([]bitvec.Vector, 0, len(sigs)+len(sigs)/8+1024)
+	if !e.cfg.ScalarKernel && len(sigs) > 0 {
+		// idx.groups stays nil for an empty build — it doubles as the
+		// "sliced kernel in use" sentinel.
+		idx.groups = make([]bitvec.SlicedGroup, 0, len(sigs)/64+len(specs)+len(sigs)/512+64)
+	}
+	idx.keyOff = make([]uint32, 1, len(sigs)+len(sigs)/8+1025)
 	idx.parts = make([]partition, len(specs))
 	idx.locks = make([]sync.Mutex, len(specs))
 
@@ -552,36 +601,48 @@ func (e *Engine) buildIndex(sigs []bitvec.Vector, entriesBySet [][]dbEntry) (*in
 		}
 	}
 	idx.pt, idx.maskless = buildPartitionTable(idx.parts)
+	idx.hostBytes = hostBytesFor(idx)
+	// A fresh full build has no duds and no carried row map; incremental
+	// folds measure their drift against this baseline.
+	idx.fullSets = len(idx.sets)
+	return idx
+}
 
-	var degraded error
-	if nDev > 0 {
-		if err := e.uploadToDevices(idx); err != nil {
-			// Device upload failed (out of device memory, too few
-			// streams, a dead device): degrade to a CPU-only index rather
-			// than leaving the engine without a database. dispatch sees no
-			// devices and runs every batch on the host.
-			idx.release()
-			idx.devices = nil
-			idx.devBufs = nil
-			idx.devGroupBufs = nil
-			idx.streams = nil
-			idx.devStreams = nil
-			degraded = fmt.Errorf("%w: %w", ErrDeviceDegraded, err)
-		}
-	}
-
-	// Host memory accounting (Fig 9): tagset table host copy (24 B/set),
-	// its transposed mirror for the sliced kernel (1592 B per 64-set
-	// SlicedGroup ≈ 24.9 B/set), key table, CSR offsets, partition table
-	// (scalar bins + bit-sliced groups).
-	idx.hostBytes = int64(len(idx.sets))*24 +
+// hostBytesFor is the host memory accounting (Fig 9): tagset table host
+// copy (24 B/set), its transposed mirror for the sliced kernel (1592 B
+// per 64-set SlicedGroup ≈ 24.9 B/set), key table, CSR offsets,
+// partition table (scalar bins + bit-sliced groups).
+func hostBytesFor(idx *index) int64 {
+	return int64(len(idx.sets))*24 +
 		int64(len(idx.groups))*slicedGroupBytes +
 		int64(len(idx.keys))*4 +
 		int64(len(idx.keyOff))*4 +
 		int64(idx.pt.entries())*28 +
 		idx.pt.slicedBytes() +
 		int64(len(idx.parts))*48
-	return idx, degraded
+}
+
+// attachDevices uploads a host-built index to the configured devices and
+// opens its stream pools. On failure the index is degraded in place to a
+// usable CPU-only form (dispatch sees no devices and runs every batch on
+// the host) and an ErrDeviceDegraded-wrapped error is returned.
+func (e *Engine) attachDevices(idx *index) error {
+	if len(idx.devices) == 0 {
+		return nil
+	}
+	if err := e.uploadToDevices(idx); err != nil {
+		// Device upload failed (out of device memory, too few streams, a
+		// dead device): degrade to a CPU-only index rather than leaving
+		// the engine without a database.
+		idx.release()
+		idx.devices = nil
+		idx.devBufs = nil
+		idx.devGroupBufs = nil
+		idx.streams = nil
+		idx.devStreams = nil
+		return fmt.Errorf("%w: %w", ErrDeviceDegraded, err)
+	}
+	return nil
 }
 
 // slicedGroupBytes is the in-memory size of one bitvec.SlicedGroup:
@@ -595,6 +656,13 @@ func (e *Engine) uploadToDevices(idx *index) error {
 	nDev := len(idx.devices)
 	idx.devBufs = make([]*gpu.Buffer[bitvec.Vector], nDev)
 	idx.devGroupBufs = make([]*gpu.Buffer[bitvec.SlicedGroup], nDev)
+	// A full upload lays every row into the base shards; extent ids from
+	// an incrementally-built host index (whose adoption fell through)
+	// would otherwise point at buffers this index never had.
+	idx.devExts, idx.devGrpExts = nil, nil
+	for pi := range idx.parts {
+		idx.parts[pi].ext = 0
+	}
 
 	if e.cfg.Replicate {
 		// Full replication: every device holds the whole table (and its
@@ -771,6 +839,18 @@ func (idx *index) release() {
 		b.Free()
 	}
 	idx.devGroupBufs = nil
+	for _, exts := range idx.devExts {
+		for _, b := range exts {
+			b.Free()
+		}
+	}
+	idx.devExts = nil
+	for _, exts := range idx.devGrpExts {
+		for _, b := range exts {
+			b.Free()
+		}
+	}
+	idx.devGrpExts = nil
 }
 
 // Close drains the pipeline and releases all resources. The engine cannot
@@ -778,6 +858,13 @@ func (idx *index) release() {
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	// Stop the background consolidator before tearing the pipeline down:
+	// a swap in flight completes (its drain still has live workers), and
+	// no new one can start once closed is set.
+	if e.consolStop != nil {
+		close(e.consolStop)
+		<-e.consolDone
 	}
 	if e.flushStop != nil {
 		close(e.flushStop)
@@ -888,6 +975,15 @@ func (e *Engine) Stats() Stats {
 		HedgesWon:           e.obs.Faults.HedgesWon.Load(),
 		HedgesLost:          e.obs.Faults.HedgesLost.Load(),
 		HedgesCancelled:     e.obs.Faults.HedgesCancelled.Load(),
+		DeltaAdds:           e.delta.addsLive.Load(),
+		DeltaTombstones:     e.delta.tombsLive.Load(),
+		DeltaAbsorbedOps:    e.obs.Delta.AbsorbedOps.Load(),
+		DeltaMatches:        e.obs.Delta.OverlayMatches.Load(),
+		DeltaKeys:           e.obs.Delta.OverlayKeys.Load(),
+		TombstoneSuppressed: e.obs.Delta.TombSuppressed.Load(),
+		AutoConsolidations:  e.obs.Delta.AutoConsolidations.Load(),
+		IncrementalFolds:    e.incFolds.Load(),
+		LastSwapPause:       time.Duration(e.swapPauseNs.Load()),
 	}
 	for _, dev := range idx.devices {
 		st.DeviceBytes = append(st.DeviceBytes, dev.MemInUse())

@@ -332,10 +332,14 @@ func TestEngineRemoveSet(t *testing.T) {
 		t.Fatalf("before removal: %v", got)
 	}
 
-	// Removal is staged: not visible until consolidate.
+	// Removal takes effect immediately through the delta overlay (a
+	// tombstone suppresses the main-index entry), while the op stays in
+	// the staged log until consolidation.
 	e.RemoveSet([]string{"x"}, 1)
-	if got, _ := e.Match([]string{"x", "y"}); len(got) != 3 {
-		t.Fatalf("staged removal already visible: %v", got)
+	got, _ := e.Match([]string{"x", "y"})
+	sortKeysSlice(got)
+	if fmt.Sprint(got) != "[2 3]" {
+		t.Fatalf("tombstoned removal still visible: %v, want [2 3]", got)
 	}
 	if e.PendingOps() != 1 {
 		t.Fatalf("PendingOps = %d", e.PendingOps())
@@ -343,7 +347,7 @@ func TestEngineRemoveSet(t *testing.T) {
 	if err := e.Consolidate(); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := e.Match([]string{"x", "y"})
+	got, _ = e.Match([]string{"x", "y"})
 	sortKeysSlice(got)
 	if fmt.Sprint(got) != "[2 3]" {
 		t.Fatalf("after removal: %v, want [2 3]", got)
@@ -356,6 +360,41 @@ func TestEngineRemoveSet(t *testing.T) {
 	}
 	if st := e.Stats(); st.UniqueSets != 1 {
 		t.Fatalf("UniqueSets = %d after dropping set x", st.UniqueSets)
+	}
+}
+
+// TestEngineRemoveSetOverlayDisabled pins the ablation contract: with
+// the delta overlay off, updates are batch-only and a staged removal is
+// invisible until Consolidate — the pre-live-update behavior.
+func TestEngineRemoveSetOverlayDisabled(t *testing.T) {
+	e, err := New(Config{
+		MaxPartitionSize: 8, BatchSize: 4, Threads: 1,
+		DisableDeltaOverlay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.AddSet([]string{"x"}, 1)
+	e.AddSet([]string{"y"}, 2)
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	e.RemoveSet([]string{"x"}, 1)
+	if got, _ := e.Match([]string{"x", "y"}); len(got) != 2 {
+		t.Fatalf("staged removal visible with overlay disabled: %v", got)
+	}
+	e.AddSet([]string{"z"}, 3)
+	if got, _ := e.Match([]string{"z"}); len(got) != 0 {
+		t.Fatalf("staged add visible with overlay disabled: %v", got)
+	}
+	if err := e.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Match([]string{"x", "y", "z"})
+	sortKeysSlice(got)
+	if fmt.Sprint(got) != "[2 3]" {
+		t.Fatalf("after consolidate: %v, want [2 3]", got)
 	}
 }
 

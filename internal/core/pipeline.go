@@ -606,9 +606,10 @@ func (a *routeAccum) bind(idx *index) {
 
 // routeState is the per-worker scratch of the pre-process stage.
 type routeState struct {
-	pids []uint32 // routed partition ids, reused across queries
-	ones []int    // the query signature's one-bit positions, computed once
-	acc  routeAccum
+	pids  []uint32 // routed partition ids, reused across queries
+	ones  []int    // the query signature's one-bit positions, computed once
+	dkeys []Key    // delta-overlay hits, reused across queries
+	acc   routeAccum
 }
 
 // preprocessWorker implements the pre-process stage (Algorithm 2): find
@@ -702,6 +703,9 @@ func (e *Engine) routeOne(w *routeState, q *query) {
 			q.trace.Event("deadline-slack-routed", -1, int64(time.Until(q.deadline)))
 		}
 	}
+	// Merge the delta overlay's hits before the routing guard drops:
+	// staged-but-unconsolidated adds match alongside the main index.
+	e.deltaMatch(w, q)
 	q.finish(e, 1)
 }
 
@@ -1296,9 +1300,15 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	}
 	sc := sl.sc
 	dev := sc.dev
+	// Partitions appended by an incremental fold live in per-device
+	// extent buffers rather than the base shard of the last full upload;
+	// their devOff/devGrpOff are extent-relative in both placement modes.
 	buf := idx.devBufs[dev]
+	if p.ext > 0 {
+		buf = idx.devExts[dev][p.ext-1]
+	}
 	partOff := int(p.off)
-	if !e.cfg.Replicate {
+	if !e.cfg.Replicate || p.ext > 0 {
 		partOff = int(p.devOff)
 	}
 	globalBase := int(p.off)
@@ -1310,8 +1320,15 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	// result path and produce identical pairs.
 	sliced := !e.cfg.ScalarKernel && idx.groups != nil
 	nGroups := (int(p.n) + 63) / 64
+	var grpBuf *gpu.Buffer[bitvec.SlicedGroup]
+	if sliced {
+		grpBuf = idx.devGroupBufs[dev]
+		if p.ext > 0 {
+			grpBuf = idx.devGrpExts[dev][p.ext-1]
+		}
+	}
 	grpOff := int(p.grpOff)
-	if !e.cfg.Replicate {
+	if !e.cfg.Replicate || p.ext > 0 {
 		grpOff = int(p.devGrpOff)
 	}
 	var grid gpu.Grid
@@ -1449,7 +1466,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 		// Ablation: two separate id arrays, two result copies.
 		var kernel gpu.KernelFunc
 		if sliced {
-			kernel = slicedSplitMatchKernelAt(idx.devGroupBufs[dev],
+			kernel = slicedSplitMatchKernelAt(grpBuf,
 				grpOff, nGroups, globalBase, qsrc, sl.splitQ, sl.splitS,
 				e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
 				e.partCounters(b.pid), &e.obs.Kernel)
@@ -1503,7 +1520,7 @@ func (e *Engine) gpuDispatchAttempt(idx *index, b *openBatch, attempt, avoid int
 	// a separate tiny H2D copy now rides in the kernel prologue).
 	var kernel gpu.KernelFunc
 	if sliced {
-		kernel = slicedMatchKernelAt(idx.devGroupBufs[dev],
+		kernel = slicedMatchKernelAt(grpBuf,
 			grpOff, nGroups, globalBase, qsrc, sl.hdr, sl.pairs,
 			e.cfg.MaxPairsPerBatch, !e.cfg.DisablePrefilter,
 			e.partCounters(b.pid), &e.obs.Kernel)
@@ -1741,22 +1758,48 @@ func (e *Engine) reduceOne(res *batchResult) {
 	// hundreds of sets in a partition, per-pair locking made the query
 	// mutex the reduce stage's contention point.
 	sc := e.pools.getScratch(len(b.queries))
+	// Live tombstones from the delta overlay suppress removed keys in
+	// the batch output; the fast path (no tombstones pending) is one
+	// atomic load. The overlay read lock, when taken, is released right
+	// after the payload decode below — before any query completes.
+	tombs := e.tombsForReduce()
+	patched := idx.patched
+	if len(patched) == 0 {
+		patched = nil // skip the per-pair probe entirely on a flat CSR
+	}
 	var nPairs int64 // accumulated locally; one atomic add per batch
 	visit := func(qi uint8, setID uint32) {
 		nPairs++
 		lo, hi := idx.keyOff[setID], idx.keyOff[setID+1]
-		ks := sc.keys[qi]
-		if idx.keyTags != nil && b.queries[qi].tags != nil {
-			// Exact verification (§3): drop Bloom false positives by
-			// re-checking the stored tags against the query's tag set
-			// (immutable after submit, so no lock needed here).
-			for j := lo; j < hi; j++ {
-				if tagsContained(idx.keyTags[j], b.queries[qi].tags) {
-					ks = append(ks, idx.keys[j])
-				}
+		rowKeys := idx.keys[lo:hi]
+		exact := idx.keyTags != nil && b.queries[qi].tags != nil
+		var rowTags [][]string
+		if exact {
+			rowTags = idx.keyTags[lo:hi]
+		}
+		if patched != nil {
+			// Rows changed by incremental folds override the CSR.
+			if pe, ok := patched[setID]; ok {
+				rowKeys, rowTags = pe.keys, pe.tags
 			}
+		}
+		ks := sc.keys[qi]
+		if tombs == nil && !exact {
+			ks = append(ks, rowKeys...)
 		} else {
-			ks = append(ks, idx.keys[lo:hi]...)
+			// Exact verification (§3) — dropping Bloom false positives by
+			// re-checking the stored tags against the query's tag set
+			// (immutable after submit, so no lock needed here) — and
+			// tombstone suppression share the per-entry walk.
+			for j := range rowKeys {
+				if tombs != nil && e.tombSuppressed(idx.sets[setID], rowKeys, j, tombs) {
+					continue
+				}
+				if exact && !tagsContained(rowTags[j], b.queries[qi].tags) {
+					continue
+				}
+				ks = append(ks, rowKeys[j])
+			}
 		}
 		if len(ks) > 0 && len(sc.keys[qi]) == 0 {
 			sc.touched = append(sc.touched, qi)
@@ -1794,6 +1837,9 @@ func (e *Engine) reduceOne(res *batchResult) {
 		for i := 0; i < res.count; i++ {
 			visit(uint8(res.qIDs[i]), res.sIDs[i])
 		}
+	}
+	if tombs != nil {
+		e.delta.mu.RUnlock()
 	}
 
 	// Flush the scratch: one lock acquisition per touched query.

@@ -23,32 +23,38 @@ import (
 //	    nTags u16        (only when flags bit 0 is set)
 //	    per tag: u16 length + bytes
 //
-// A snapshot captures the consolidated master database — the durable
-// state of the engine. The partitioned index is derived state and is
-// rebuilt by Consolidate on load, exactly as the paper's system rebuilds
-// its index offline.
+// A snapshot captures the logical master database — the durable state of
+// the engine — with any staged (unconsolidated) operations applied on
+// the fly through a copy-on-write overlay, so a snapshot taken mid-churn
+// is exactly what a Consolidate at the same instant would have
+// committed. The partitioned index is derived state and is rebuilt by
+// Consolidate on load, exactly as the paper's system rebuilds its index
+// offline.
 var snapshotMagic = [8]byte{'T', 'M', 'S', 'N', 'A', 'P', '0', '1'}
 
 const snapFlagTags = 1 << 0
 
-// ErrPendingOps is returned by SaveSnapshot when staged operations have
-// not been consolidated: a snapshot must capture a consistent database.
+// ErrPendingOps is retained for callers matching the pre-live-update
+// contract.
+//
+// Deprecated: SaveSnapshot no longer returns it — staged operations are
+// now included in the snapshot rather than rejected.
 var ErrPendingOps = errors.New("tagmatch: staged operations pending; Consolidate before SaveSnapshot")
 
 // ErrBadSnapshot reports a malformed or incompatible snapshot stream.
 var ErrBadSnapshot = errors.New("tagmatch: malformed snapshot")
 
-// SaveSnapshot writes the consolidated database to w. It fails with
-// ErrPendingOps if staged, unconsolidated operations exist.
+// SaveSnapshot writes the database to w, staged operations included:
+// the stream carries db ⊕ staged, materialized without mutating either,
+// so pending ops survive a save/load cycle without requiring a
+// Consolidate first.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
 	e.stagedMu.Lock()
 	defer e.stagedMu.Unlock()
-	if len(e.staged) > 0 {
-		return ErrPendingOps
-	}
+	sigs, entriesBySet := e.snapshotWithPrefix(len(e.staged))
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
@@ -61,12 +67,13 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(e.db))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(sigs))); err != nil {
 		return err
 	}
 
 	var sigBuf []byte
-	for sig, entries := range e.db {
+	for si, sig := range sigs {
+		entries := entriesBySet[si]
 		sigBuf = sig.AppendBinary(sigBuf[:0])
 		if _, err := bw.Write(sigBuf); err != nil {
 			return err
@@ -156,11 +163,22 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 				if err := binary.Read(br, binary.LittleEndian, &nTags); err != nil {
 					return fmt.Errorf("%w: reading tag count: %v", ErrBadSnapshot, err)
 				}
-				tags = make([]string, nTags)
-				for j := range tags {
+				if e.cfg.ExactVerify {
+					tags = make([]string, nTags)
+				}
+				for j := 0; j < int(nTags); j++ {
 					var tl uint16
 					if err := binary.Read(br, binary.LittleEndian, &tl); err != nil {
 						return fmt.Errorf("%w: reading tag length: %v", ErrBadSnapshot, err)
+					}
+					if tags == nil {
+						// Tags are only consulted by ExactVerify: skip the
+						// bytes instead of materializing millions of
+						// short-lived strings on a bulk load.
+						if _, err := br.Discard(int(tl)); err != nil {
+							return fmt.Errorf("%w: reading tag: %v", ErrBadSnapshot, err)
+						}
+						continue
 					}
 					raw := make([]byte, tl)
 					if _, err := io.ReadFull(br, raw); err != nil {
@@ -169,15 +187,16 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 					tags[j] = string(raw)
 				}
 			}
-			op := stagedOp{sig: sig, key: Key(key)}
-			if e.cfg.ExactVerify {
-				op.tags = tags
-			}
-			ops = append(ops, op)
+			ops = append(ops, stagedOp{sig: sig, key: Key(key), tags: tags})
 		}
 	}
-	e.stagedMu.Lock()
-	e.staged = append(e.staged, ops...)
-	e.stagedMu.Unlock()
-	return e.Consolidate()
+	// Splice the parsed ops into the staged log inside the synchronous
+	// consolidation's Phase A rather than staging them here: submissions
+	// are blocked for the whole pass, so the bulk never needs an overlay
+	// generation of its own (a snapshot-sized overlay would cost hundreds
+	// of MB of bit-sliced groups and per-key maps just to be thrown away
+	// at the swap). The loaded sets are matchable when LoadSnapshot
+	// returns; concurrently staged ops survive as the suffix and are
+	// replayed into the fresh overlay by the swap's rebuild.
+	return e.consolidateOnce(false, ops)
 }

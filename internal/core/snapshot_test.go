@@ -100,22 +100,45 @@ func TestSnapshotWithExactTags(t *testing.T) {
 	}
 }
 
-func TestSnapshotPendingOpsRejected(t *testing.T) {
+// TestSnapshotIncludesStaged pins the live-update snapshot contract: a
+// snapshot taken mid-churn carries db ⊕ staged, so pending adds and
+// removes survive a save/load cycle without a Consolidate first.
+func TestSnapshotIncludesStaged(t *testing.T) {
 	e, err := New(Config{Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	e.AddSet([]string{"x"}, 1)
-	var buf bytes.Buffer
-	if err := e.SaveSnapshot(&buf); !errors.Is(err, ErrPendingOps) {
-		t.Fatalf("err = %v, want ErrPendingOps", err)
-	}
+	e.AddSet([]string{"a"}, 1)
 	if err := e.Consolidate(); err != nil {
 		t.Fatal(err)
 	}
+	// Staged but unconsolidated: an add and a remove against the main db.
+	e.AddSet([]string{"b"}, 2)
+	e.RemoveSet([]string{"a"}, 1)
+	if e.PendingOps() != 2 {
+		t.Fatalf("PendingOps = %d, want 2", e.PendingOps())
+	}
+	var buf bytes.Buffer
 	if err := e.SaveSnapshot(&buf); err != nil {
-		t.Fatalf("after consolidate: %v", err)
+		t.Fatalf("SaveSnapshot with staged ops: %v", err)
+	}
+	// Saving must not drain the staged log.
+	if e.PendingOps() != 2 {
+		t.Fatalf("PendingOps after save = %d, want 2", e.PendingOps())
+	}
+
+	dst, err := New(Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.Match([]string{"a", "b"})
+	if fmt.Sprint(got) != "[2]" {
+		t.Fatalf("restored engine answered %v, want [2]", got)
 	}
 }
 

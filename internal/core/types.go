@@ -193,6 +193,23 @@ type Config struct {
 	// deployments should leave pooling on (the default).
 	DisablePooling bool
 
+	// DeltaMaxSets is the live-op count (overlay adds + tombstones) at
+	// which the background consolidator folds the delta overlay into the
+	// main index. Defaults to 4096.
+	DeltaMaxSets int
+
+	// DeltaMaxRatio raises the auto-consolidation threshold to this
+	// fraction of the main index's set count when that exceeds
+	// DeltaMaxSets, keeping rebuild cost amortized-geometric as the
+	// database grows. Defaults to 0.25.
+	DeltaMaxRatio float64
+
+	// DisableDeltaOverlay restores the legacy update semantics: staged
+	// ops stay invisible until an explicit Consolidate, no overlay is
+	// maintained on the query path, and no background consolidator runs
+	// (the stop-the-world ablation baseline of the churn experiment).
+	DisableDeltaOverlay bool
+
 	// HedgePolicy enables hedged re-dispatch of straggling batches: a
 	// dispatched batch that outlives its straggler budget is re-issued to
 	// another healthy device (or the host) and the two attempts race,
@@ -330,6 +347,12 @@ func (c *Config) applyDefaults() {
 	if c.HedgePolicy.MinBudget <= 0 {
 		c.HedgePolicy.MinBudget = 500 * time.Microsecond
 	}
+	if c.DeltaMaxSets <= 0 {
+		c.DeltaMaxSets = 4096
+	}
+	if c.DeltaMaxRatio <= 0 {
+		c.DeltaMaxRatio = 0.25
+	}
 }
 
 // Stats is a snapshot of engine activity. The JSON field names are part
@@ -408,6 +431,25 @@ type Stats struct {
 	HedgesLost       int64 `json:"hedges_lost"`
 	HedgesCancelled  int64 `json:"hedges_cancelled"`
 
+	// Live-update counters (mirrors of obs.DeltaCounters plus the
+	// overlay's live sizes): DeltaAdds/DeltaTombstones are the overlay
+	// entries currently serving queries ahead of consolidation;
+	// DeltaMatches/DeltaKeys count its match contribution;
+	// TombstoneSuppressed the main-index entries hidden by pending
+	// removes; AutoConsolidations the background folds; LastSwapPause
+	// the traffic pause of the most recent background swap (drain +
+	// index swap + device upload — compare LastConsolidate, the full
+	// stop-the-world rebuild time).
+	DeltaAdds           int64         `json:"delta_adds"`
+	DeltaTombstones     int64         `json:"delta_tombstones"`
+	DeltaAbsorbedOps    int64         `json:"delta_absorbed_ops"`
+	DeltaMatches        int64         `json:"delta_matches"`
+	DeltaKeys           int64         `json:"delta_keys"`
+	TombstoneSuppressed int64         `json:"tombstone_suppressions"`
+	AutoConsolidations  int64         `json:"auto_consolidations"`
+	IncrementalFolds    int64         `json:"incremental_folds"`
+	LastSwapPause       time.Duration `json:"last_swap_pause_ns"`
+
 	// Memory accounting (Fig 9): host side and per-device.
 	HostBytes   int64   `json:"host_bytes"`
 	DeviceBytes []int64 `json:"device_bytes,omitempty"`
@@ -456,6 +498,14 @@ type partition struct {
 	// when the engine runs the scalar kernel (no transposed index).
 	grpOff    uint32
 	devGrpOff uint32
+
+	// ext is the partition's device extent: 0 for the base shard
+	// uploaded by the last full build, e>0 for the e-th extent buffer
+	// appended by an incremental fold (index.devExts[dev][e-1], see
+	// adoptDevices). When ext > 0, devOff/devGrpOff index into the
+	// extent buffer — in replicate mode too, where base partitions use
+	// the global offsets instead.
+	ext uint32
 
 	batch *openBatch // current filling batch; guarded by the partition lock
 

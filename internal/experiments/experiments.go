@@ -313,6 +313,11 @@ func BuildEngine(spec EngineSpec) (*core.Engine, []*gpu.Device, error) {
 		Devices:          devs,
 		StreamsPerDevice: 10,
 		Replicate:        true,
+		// Bulk staging below would repeatedly trip the background
+		// consolidator at the default threshold; raise it past the load so
+		// the explicit Consolidate that follows does one build. Mutate can
+		// lower it again for live-update experiments.
+		DeltaMaxSets: len(spec.Sigs) + 4096,
 	}
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)

@@ -5,20 +5,27 @@
 //
 // Endpoints (JSON bodies):
 //
-//	POST /add          {"tags": ["a","b"], "key": 42}
-//	POST /remove       {"tags": ["a","b"], "key": 42}
-//	POST /consolidate  {}
-//	POST /match        {"tags": ["a","b","c"], "timeout_ms": 50}
-//	POST /match-unique {"tags": ["a","b","c"], "timeout_ms": 50}
-//	GET  /stats        cumulative engine counters (JSON, snake_case keys)
-//	GET  /debug/stats  stats + stage histograms, per-partition counters,
-//	                   gauges, recent traces, latency attribution with
-//	                   exemplar trace ids, per-device counters (JSON)
-//	GET  /debug/timeline  sampled traces + device op logs as a Chrome
-//	                   trace-event file (load in Perfetto); ?trace=<id>
-//	                   restricts to one sampled query
-//	GET  /metrics      Prometheus text exposition (format 0.0.4)
-//	GET  /healthz
+//	POST   /add          {"tags": ["a","b"], "key": 42}
+//	POST   /remove       {"tags": ["a","b"], "key": 42}
+//	POST   /sets         alias of /add (live-update REST face)
+//	DELETE /sets         alias of /remove
+//	POST   /consolidate  {}
+//	POST   /match        {"tags": ["a","b","c"], "timeout_ms": 50}
+//	POST   /match-unique {"tags": ["a","b","c"], "timeout_ms": 50}
+//	GET    /stats        cumulative engine counters (JSON, snake_case keys)
+//	GET    /debug/stats  stats + stage histograms, per-partition counters,
+//	                     gauges, recent traces, latency attribution with
+//	                     exemplar trace ids, per-device counters (JSON)
+//	GET    /debug/timeline  sampled traces + device op logs as a Chrome
+//	                     trace-event file (load in Perfetto); ?trace=<id>
+//	                     restricts to one sampled query
+//	GET    /metrics      Prometheus text exposition (format 0.0.4)
+//	GET    /healthz
+//
+// Adds and removes are match-visible immediately (the engine's delta
+// overlay); POST /consolidate remains available to force a synchronous
+// fold of staged operations into the partitioned index, which otherwise
+// happens in the background once the overlay outgrows its threshold.
 //
 // When the engine's MaxInFlight admission gate sheds a query, /match and
 // /match-unique answer 503 Service Unavailable with a Retry-After
@@ -92,22 +99,29 @@ type StagedResponse struct {
 // engine's lifecycle.
 func Handler(eng *tagmatch.Engine) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /add", func(w http.ResponseWriter, r *http.Request) {
+	addHandler := func(w http.ResponseWriter, r *http.Request) {
 		var req SetRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		eng.AddSet(req.Tags, req.Key)
 		writeJSON(w, StagedResponse{Staged: eng.PendingOps()})
-	})
-	mux.HandleFunc("POST /remove", func(w http.ResponseWriter, r *http.Request) {
+	}
+	removeHandler := func(w http.ResponseWriter, r *http.Request) {
 		var req SetRequest
 		if !decode(w, r, &req) {
 			return
 		}
 		eng.RemoveSet(req.Tags, req.Key)
 		writeJSON(w, StagedResponse{Staged: eng.PendingOps()})
-	})
+	}
+	mux.HandleFunc("POST /add", addHandler)
+	mux.HandleFunc("POST /remove", removeHandler)
+	// RESTful aliases for the live-update workflow: POST adds an
+	// association, DELETE removes one — both visible on the very next
+	// query through the delta overlay.
+	mux.HandleFunc("POST /sets", addHandler)
+	mux.HandleFunc("DELETE /sets", removeHandler)
 	mux.HandleFunc("POST /consolidate", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		resp := ConsolidateResponse{}

@@ -88,6 +88,42 @@ func TestRemoveFlow(t *testing.T) {
 	}
 }
 
+// TestLiveSetsEndpoints drives the RESTful live-update face: POST /sets
+// is matchable on the very next query with no consolidate in between,
+// and DELETE /sets suppresses the association immediately.
+func TestLiveSetsEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var staged StagedResponse
+	post(t, srv.URL+"/sets", SetRequest{Tags: []string{"live"}, Key: 9}, &staged)
+	if staged.Staged != 1 {
+		t.Fatalf("staged = %d, want 1", staged.Staged)
+	}
+	var match MatchResponse
+	post(t, srv.URL+"/match", MatchRequest{Tags: []string{"live", "x"}}, &match)
+	if match.Count != 1 || match.Keys[0] != 9 {
+		t.Fatalf("staged add not live: %+v", match)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/sets",
+		bytes.NewReader([]byte(`{"tags":["live"],"key":9}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /sets → %d", resp.StatusCode)
+	}
+	post(t, srv.URL+"/match", MatchRequest{Tags: []string{"live", "x"}}, &match)
+	if match.Count != 0 {
+		t.Fatalf("removed association still live: %+v", match)
+	}
+}
+
 func TestEmptyResultIsJSONArray(t *testing.T) {
 	srv, _ := newTestServer(t)
 	post(t, srv.URL+"/consolidate", struct{}{}, nil)

@@ -1,0 +1,76 @@
+package obs
+
+import "sync/atomic"
+
+// DeltaCounters instruments the live-update subsystem: the match-visible
+// delta overlay (staged adds matchable ahead of consolidation, removes
+// as tombstones) and the background consolidator that folds it into the
+// main index. Like FaultCounters and StreamCounters they are NOT gated
+// by Pipeline.On — they feed the engine's Stats, the churn bench
+// assertions, and the /metrics families below.
+type DeltaCounters struct {
+	// AbsorbedOps counts staged operations absorbed into the overlay
+	// (adds and removes; removes that cancel a pending overlay add or
+	// no-op still count).
+	AbsorbedOps atomic.Int64
+	// OverlayMatches counts queries that drew at least one key from the
+	// overlay; OverlayKeys the keys so delivered.
+	OverlayMatches atomic.Int64
+	OverlayKeys    atomic.Int64
+	// TombSuppressed counts main-index key-table entries hidden from
+	// reduce output by a live tombstone.
+	TombSuppressed atomic.Int64
+	// AutoConsolidations counts background (zero-drain) consolidations
+	// triggered by the overlay outgrowing its threshold.
+	AutoConsolidations atomic.Int64
+
+	// SwapPause is the distribution (nanoseconds) of the background
+	// consolidation's traffic pause: the Phase-C drain + index swap +
+	// device upload — the part that excludes submissions, as opposed to
+	// the full rebuild a synchronous Consolidate blocks for.
+	SwapPause Histogram
+}
+
+// DeltaSnapshot is the JSON-facing view of DeltaCounters.
+type DeltaSnapshot struct {
+	AbsorbedOps        int64        `json:"absorbed_ops"`
+	OverlayMatches     int64        `json:"overlay_matches"`
+	OverlayKeys        int64        `json:"overlay_keys"`
+	TombSuppressed     int64        `json:"tombstone_suppressions"`
+	AutoConsolidations int64        `json:"auto_consolidations"`
+	SwapPause          HistSnapshot `json:"swap_pause"`
+}
+
+// Snapshot returns an atomic-per-field copy for export.
+func (d *DeltaCounters) Snapshot() DeltaSnapshot {
+	return DeltaSnapshot{
+		AbsorbedOps:        d.AbsorbedOps.Load(),
+		OverlayMatches:     d.OverlayMatches.Load(),
+		OverlayKeys:        d.OverlayKeys.Load(),
+		TombSuppressed:     d.TombSuppressed.Load(),
+		AutoConsolidations: d.AutoConsolidations.Load(),
+		SwapPause:          d.SwapPause.Snapshot(),
+	}
+}
+
+// writeProm emits the delta counters in Prometheus text format.
+func (d *DeltaCounters) writeProm(w *PromWriter) {
+	w.Counter("tagmatch_delta_absorbed_ops_total",
+		"Staged add/remove operations absorbed into the match-visible delta overlay.",
+		nil, float64(d.AbsorbedOps.Load()))
+	w.Counter("tagmatch_delta_overlay_matches_total",
+		"Queries that drew at least one key from the delta overlay.",
+		nil, float64(d.OverlayMatches.Load()))
+	w.Counter("tagmatch_delta_overlay_keys_total",
+		"Keys delivered from the delta overlay.",
+		nil, float64(d.OverlayKeys.Load()))
+	w.Counter("tagmatch_delta_tombstone_suppressions_total",
+		"Main-index key entries suppressed by live tombstones at reduce time.",
+		nil, float64(d.TombSuppressed.Load()))
+	w.Counter("tagmatch_auto_consolidations_total",
+		"Background consolidations triggered by the delta overlay threshold.",
+		nil, float64(d.AutoConsolidations.Load()))
+	w.Histogram("tagmatch_consolidation_swap_pause_seconds",
+		"Traffic pause of a background consolidation swap (drain + index swap + device upload).",
+		nil, d.SwapPause.Snapshot(), 1e-9)
+}

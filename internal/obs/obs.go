@@ -109,6 +109,12 @@ type Pipeline struct {
 	// recorded, like Faults; see StreamCounters.
 	Streams StreamCounters
 
+	// Delta counts live-update activity: overlay absorption and match
+	// contribution, tombstone suppressions, background consolidations
+	// and their swap-pause distribution. Always recorded, like Faults;
+	// see DeltaCounters.
+	Delta DeltaCounters
+
 	// Tracer samples per-query traces.
 	Tracer *Tracer
 
@@ -217,6 +223,7 @@ type Snapshot struct {
 	Routing        RoutingSnapshot        `json:"routing"`
 	Kernel         KernelSnapshot         `json:"kernel"`
 	Streams        StreamSnapshot         `json:"streams"`
+	Delta          DeltaSnapshot          `json:"delta"`
 	Gauges         map[string]float64     `json:"gauges,omitempty"`
 	Attribution    []AttributionComponent `json:"attribution,omitempty"`
 	Exemplars      []Exemplar             `json:"exemplars,omitempty"`
@@ -259,6 +266,7 @@ func (p *Pipeline) Snapshot(includeAllPartitions bool) Snapshot {
 		Routing:        p.Routing.Snapshot(),
 		Kernel:         p.Kernel.Snapshot(),
 		Streams:        p.Streams.Snapshot(),
+		Delta:          p.Delta.Snapshot(),
 		Attribution:    p.Attribution(),
 		Exemplars:      p.Tracer.Exemplars(),
 		HotPartitions:  p.Parts.Hottest(p.topPartitions),
@@ -331,6 +339,7 @@ func (p *Pipeline) WriteProm(w *PromWriter) {
 	p.Routing.writeProm(w)
 	p.Kernel.writeProm(w)
 	p.Streams.writeProm(w)
+	p.Delta.writeProm(w)
 
 	p.gaugeMu.Lock()
 	gauges := append([]gauge(nil), p.gauges...)

@@ -24,10 +24,16 @@
 //
 //	eng.AddSet([]string{"en_go", "en_gpu"}, 1001)   // user 1001's interest
 //	eng.AddSet([]string{"en_go"}, 1002)
-//	if err := eng.Consolidate(); err != nil { ... } // build the index
 //
 //	keys, err := eng.MatchUnique([]string{"en_go", "en_gpu", "en_eurosys"})
 //	// keys == [1001, 1002]
+//
+// Updates are live: AddSet and RemoveSet take effect on the very next
+// query through a CPU-side delta overlay (staged adds matched by a
+// bit-sliced mini-index, removes suppressed by tombstones), while a
+// background consolidator periodically folds the overlay into the
+// partitioned GPU index with only a brief swap pause. An explicit
+// Consolidate forces that fold synchronously.
 //
 // For maximal throughput, stream queries with Submit/SubmitUnique and a
 // BatchTimeout instead of the blocking Match calls.
@@ -143,6 +149,24 @@ type Config struct {
 	// candidate key.
 	ExactVerify bool
 
+	// DeltaMaxSets is the number of live overlay entries (staged adds
+	// plus tombstones) that triggers a background consolidation
+	// (default 4096). Together with DeltaMaxRatio it bounds how much of
+	// each query is answered by the slower CPU-side overlay before the
+	// consolidator folds it into the partitioned index.
+	DeltaMaxSets int
+	// DeltaMaxRatio triggers background consolidation when the overlay
+	// grows past this fraction of the main index's set count (default
+	// 0.25). The effective threshold is max(DeltaMaxSets,
+	// DeltaMaxRatio × sets), so small databases are not consolidated on
+	// every handful of updates.
+	DeltaMaxRatio float64
+	// DisableLiveUpdates turns off the match-visible delta overlay and
+	// the background consolidator: adds and removes stage silently and
+	// take effect only at an explicit Consolidate, the pre-live-update
+	// batch contract. Intended for ablation benchmarks.
+	DisableLiveUpdates bool
+
 	// TraceEvery samples one query in N for full pipeline tracing,
 	// retrievable via Obs().Tracer or GET /debug/stats. Zero disables
 	// tracing (the default).
@@ -206,6 +230,9 @@ func New(cfg Config) (*Engine, error) {
 		QuarantineBackoff:    cfg.QuarantineBackoff,
 		HedgePolicy:          cfg.Hedge,
 		ExactVerify:          cfg.ExactVerify,
+		DeltaMaxSets:         cfg.DeltaMaxSets,
+		DeltaMaxRatio:        cfg.DeltaMaxRatio,
+		DisableDeltaOverlay:  cfg.DisableLiveUpdates,
 		TraceEvery:           cfg.TraceEvery,
 		DisableObservability: cfg.DisableObservability,
 		Logger:               cfg.Logger,
@@ -220,20 +247,34 @@ func New(cfg Config) (*Engine, error) {
 	return &Engine{core: eng, devices: devices}, nil
 }
 
-// AddSet stages the addition of a tag set associated with key. The set
-// becomes matchable after the next Consolidate.
+// AddSet adds a tag set associated with key. The association is
+// matchable immediately: it is staged into the delta overlay, answered
+// alongside the main index, and folded into the partitioned GPU index by
+// the next consolidation (background or explicit). With
+// Config.DisableLiveUpdates it stays invisible until Consolidate.
 func (e *Engine) AddSet(tags []string, key Key) { e.core.AddSet(tags, key) }
 
-// RemoveSet stages the removal of one (set, key) association, effective
-// at the next Consolidate.
+// RemoveSet removes one (set, key) association. The removal takes
+// effect immediately: a tombstone suppresses the association from every
+// subsequent Match and MatchUnique until a consolidation rebuilds the
+// index without it. Removing an association that does not exist is a
+// no-op. With Config.DisableLiveUpdates the removal waits for
+// Consolidate.
 func (e *Engine) RemoveSet(tags []string, key Key) { e.core.RemoveSet(tags, key) }
 
-// PendingOps returns the number of staged operations awaiting
-// Consolidate.
+// PendingOps returns the number of staged operations not yet folded
+// into the partitioned index. With live updates enabled these are
+// already match-visible through the overlay; the background consolidator
+// drains them once the overlay outgrows Config.DeltaMaxSets /
+// Config.DeltaMaxRatio.
 func (e *Engine) PendingOps() int { return e.core.PendingOps() }
 
-// Consolidate applies staged operations and rebuilds the partitioned
-// index offline, uploading the tagset table to the GPUs.
+// Consolidate synchronously folds all staged operations into the
+// partitioned index, rebuilding it offline and uploading the tagset
+// table to the GPUs. With live updates enabled this is optional — the
+// background consolidator does the same work automatically — but remains
+// useful to force a clean index before benchmarking, or as the only
+// update mechanism when Config.DisableLiveUpdates is set.
 func (e *Engine) Consolidate() error { return e.core.Consolidate() }
 
 // Match returns the multiset of keys of every stored set that is a
@@ -325,8 +366,11 @@ func (e *Engine) DeviceOpRecords() []DeviceOps {
 	return out
 }
 
-// SaveSnapshot writes the consolidated database to w in the engine's
-// binary snapshot format. Staged operations must be consolidated first.
+// SaveSnapshot writes the database to w in the engine's binary snapshot
+// format. Staged (unconsolidated) operations are included: the stream
+// carries the logical database with pending adds and removes applied, so
+// a snapshot taken mid-churn restores to exactly what a Consolidate at
+// the same instant would have committed.
 func (e *Engine) SaveSnapshot(w io.Writer) error { return e.core.SaveSnapshot(w) }
 
 // LoadSnapshot stages a previously saved database from r and
